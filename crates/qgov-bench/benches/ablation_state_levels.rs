@@ -1,0 +1,21 @@
+//! Ablation: sweep of the Q-table discretisation level count N.
+//!
+//! The paper fixes N = 5 "in view of a pre-characterisation of the
+//! applications" (Section II-A): the Q-table size `|A|x|S|` trades
+//! learning overhead against achievable energy minimisation. This
+//! sweep regenerates that trade-off.
+//!
+//! Run with `cargo bench -p qgov-bench --bench ablation_state_levels`.
+
+use qgov_bench::experiments::run_state_levels_ablation;
+
+fn main() {
+    let frames = 800;
+    let seed = 2017;
+    println!("== Ablation: state discretisation levels N ==");
+    println!("   H.264 football, {frames} frames, seed {seed}\n");
+    let result = run_state_levels_ablation(seed, frames);
+    println!("{}", result.table.render());
+    println!("expectation: small N converges fast but controls coarsely;");
+    println!("large N controls finely but explores/converges slowly — N = 5 balances.");
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 3** of Biswas et al., DATE 2017: workload
+//! misprediction for MPEG4 decoding at 24 fps (EWMA γ = 0.6) and the
+//! learning impact on the average slack ratio. Prints the headline
+//! statistics and writes the full series to
+//! `target/fig3_misprediction.csv` for plotting.
+//!
+//! Run with `cargo bench -p qgov-bench --bench fig3_misprediction`.
+
+use qgov_bench::experiments::run_fig3;
+
+fn main() {
+    let frames = 240;
+    let seed = 2017;
+    println!("== Fig. 3: workload misprediction and learning impact on slack ==");
+    println!("   MPEG4 SVGA at 24 fps, gamma = 0.6, {frames} frames, seed {seed}");
+    println!("   (scene change scripted at frame 90, as in the paper's sequence)\n");
+    let result = run_fig3(seed, frames);
+
+    println!(
+        "average misprediction, frames 1-100:   {:.1}%  (paper: ~8%)",
+        result.early_misprediction * 100.0
+    );
+    println!(
+        "average misprediction, frames 100-{}: {:.1}%  (paper: ~3%)",
+        frames,
+        result.late_misprediction * 100.0
+    );
+    println!(
+        "frames with >15% misprediction: {:?}",
+        result.mispredicted_frames
+    );
+
+    let out = std::path::Path::new("target").join("fig3_misprediction.csv");
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&out, &result.csv) {
+        Ok(()) => println!("\nfull series written to {}", out.display()),
+        Err(e) => println!("\ncould not write {}: {e}", out.display()),
+    }
+}

@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks of the learning-overhead components the
+//! paper decomposes in Section III-D: sensor sampling, processing
+//! (prediction, state mapping, Bellman update, action selection) and a
+//! full simulated decision epoch.
+//!
+//! Run with `cargo bench -p qgov-bench --bench micro`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qgov_rl::{
+    ActionContext, EpdPolicy, EwmaPredictor, ExplorationPolicy, Predictor, QTable,
+    UniformDiscretizer,
+};
+use qgov_rl::Discretizer as _;
+use qgov_sim::{Platform, PlatformConfig, SensorConfig, WorkSlice};
+use qgov_units::{Cycles, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_q_update(c: &mut Criterion) {
+    c.bench_function("qtable_bellman_update_25x19", |b| {
+        let mut q = QTable::new(25, 19).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let s = (i % 25) as usize;
+            let a = (i % 19) as usize;
+            q.update(s, a, 0.5, (s + 1) % 25, 0.3, 0.5);
+            i += 1;
+            black_box(q.value(s, a))
+        });
+    });
+}
+
+fn bench_greedy_scan(c: &mut Criterion) {
+    c.bench_function("qtable_greedy_scan_19_actions", |b| {
+        let mut q = QTable::new(25, 19).unwrap();
+        for a in 0..19 {
+            q.update(3, a, a as f64 * 0.1, 3, 1.0, 0.0);
+        }
+        b.iter(|| black_box(q.greedy_action(black_box(3))));
+    });
+}
+
+fn bench_epd_selection(c: &mut Criterion) {
+    c.bench_function("epd_action_selection_19_actions", |b| {
+        let policy = EpdPolicy::paper();
+        let q_row = [0.0f64; 19];
+        let freqs: Vec<f64> = (2..21).map(|i| i as f64 / 10.0).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let ctx = ActionContext::new(&q_row, &freqs, black_box(0.2));
+            black_box(policy.select(&ctx, &mut rng))
+        });
+    });
+}
+
+fn bench_ewma(c: &mut Criterion) {
+    c.bench_function("ewma_observe_predict", |b| {
+        let mut p = EwmaPredictor::paper();
+        let mut x = 1.0e8;
+        b.iter(|| {
+            x = x * 0.999 + 1.0e5;
+            p.observe(black_box(x));
+            black_box(p.predict())
+        });
+    });
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    c.bench_function("uniform_discretizer_level_of", |b| {
+        let d = UniformDiscretizer::new(0.0, 1e9, 5).unwrap();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.3e7;
+            if x > 1e9 {
+                x = 0.0;
+            }
+            black_box(d.level_of(black_box(x)))
+        });
+    });
+}
+
+fn bench_platform_frame(c: &mut Criterion) {
+    c.bench_function("platform_run_frame_4_cores", |b| {
+        let config = PlatformConfig {
+            sensor: SensorConfig::ideal(),
+            ..PlatformConfig::odroid_xu3_a15()
+        };
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(20)); 4];
+        b.iter_batched(
+            || {
+                let mut p = Platform::new(config.clone()).unwrap();
+                p.set_cluster_opp(10);
+                p
+            },
+            |mut p| {
+                for _ in 0..16 {
+                    black_box(p.run_frame(&work, SimTime::from_ms(40)).unwrap());
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_full_decision_epoch(c: &mut Criterion) {
+    use qgov_core::{RtmConfig, RtmGovernor};
+    use qgov_governors::{EpochObservation, Governor, GovernorContext};
+
+    c.bench_function("rtm_full_decision_epoch", |b| {
+        let mut rtm =
+            RtmGovernor::new(RtmConfig::paper(1).with_workload_bounds(1e7, 1e9)).unwrap();
+        let mut platform = Platform::new(PlatformConfig {
+            sensor: SensorConfig::ideal(),
+            ..PlatformConfig::odroid_xu3_a15()
+        })
+        .unwrap();
+        let ctx = GovernorContext::new(
+            platform.opp_table().clone(),
+            platform.cores(),
+            SimTime::from_ms(40),
+        );
+        rtm.init(&ctx);
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(20)); 4];
+        let frame = platform.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        let mut epoch = 0u64;
+        b.iter(|| {
+            let d = rtm.decide(&EpochObservation {
+                frame: black_box(&frame),
+                epoch,
+            });
+            epoch += 1;
+            black_box(d)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_q_update,
+    bench_greedy_scan,
+    bench_epd_selection,
+    bench_ewma,
+    bench_discretize,
+    bench_platform_frame,
+    bench_full_decision_epoch,
+);
+criterion_main!(benches);

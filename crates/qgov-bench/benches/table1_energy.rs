@@ -1,0 +1,21 @@
+//! Regenerates **Table I** of Biswas et al., DATE 2017: comparative
+//! normalised energy and performance of Linux ondemand [5], multi-core
+//! DVFS control [20], the proposed RTM and the Oracle reference on the
+//! H.264 football sequence (~3000 frames).
+//!
+//! Run with `cargo bench -p qgov-bench --bench table1_energy`.
+
+use qgov_bench::experiments::run_table1;
+
+fn main() {
+    let frames = 3_000;
+    let seed = 2017;
+    println!("== Table I: comparative normalised energy and performance ==");
+    println!("   workload: H.264 football sequence, {frames} frames at 15 fps, seed {seed}\n");
+    let result = run_table1(seed, frames);
+    println!("{}", result.table.render());
+    println!("paper reference (measured on ODROID-XU3):");
+    println!("  Linux Ondemand [5]            1.29  0.77");
+    println!("  Multi-core DVFS control [20]  1.20  0.89");
+    println!("  Proposed                      1.11  0.96");
+}

@@ -1,0 +1,21 @@
+//! Regenerates **Table II** of Biswas et al., DATE 2017: the number of
+//! explorations needed until convergence with the paper's slack-aware
+//! EPD exploration (Eq. 2) versus the uniform-probability baseline of
+//! Shen et al. [21], on MPEG4 (30 fps), H.264 (15 fps) and FFT (32 fps).
+//!
+//! Run with `cargo bench -p qgov-bench --bench table2_explorations`.
+
+use qgov_bench::experiments::run_table2;
+
+fn main() {
+    let frames = 800;
+    let seed = 2017;
+    println!("== Table II: comparative number of explorations ==");
+    println!("   {frames} frames per application, seed {seed}\n");
+    let result = run_table2(seed, frames);
+    println!("{}", result.table.render());
+    println!("paper reference (measured on ODROID-XU3):");
+    println!("  MPEG4 (30 fps)   144 -> 83");
+    println!("  H.264 (15 fps)   149 -> 90");
+    println!("  FFT (32 fps)     119 -> 74");
+}

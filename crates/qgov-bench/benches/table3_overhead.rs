@@ -1,0 +1,21 @@
+//! Regenerates **Table III** of Biswas et al., DATE 2017: worst-case
+//! learning overhead in decision epochs — the shared Q-table of the
+//! proposed RTM versus the per-core independent learners of the
+//! multi-core DVFS control baseline [20], on an ffmpeg-style decode
+//! with T_ref = 31 ms.
+//!
+//! Run with `cargo bench -p qgov-bench --bench table3_overhead`.
+
+use qgov_bench::experiments::run_table3;
+
+fn main() {
+    let frames = 800;
+    let seed = 2017;
+    println!("== Table III: comparative worst-case learning overhead ==");
+    println!("   ffmpeg-style MPEG4 decode, T_ref = 31 ms, {frames} frames, seed {seed}\n");
+    let result = run_table3(seed, frames);
+    println!("{}", result.table.render());
+    println!("paper reference (measured on ODROID-XU3):");
+    println!("  Multi-core DVFS control [20]  205 decision epochs");
+    println!("  Our approach                  105 decision epochs");
+}

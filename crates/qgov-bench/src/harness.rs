@@ -1,0 +1,246 @@
+//! The experiment loop: governor × application × platform → report.
+
+use qgov_governors::{EpochObservation, Governor, GovernorContext, VfDecision};
+use qgov_metrics::RunReport;
+use qgov_sim::{Platform, PlatformConfig, SimError, VfDomain, WorkSlice};
+use qgov_workloads::{Application, WorkloadTrace};
+
+/// Everything a finished run yields: the metrics report plus the
+/// platform in its final state (for inspecting transitions, PMUs,
+/// temperatures).
+#[derive(Debug)]
+pub struct ExperimentOutcome {
+    /// Accumulated per-run metrics.
+    pub report: RunReport,
+    /// The platform after the run.
+    pub platform: Platform,
+}
+
+/// Applies a governor decision to the platform, resolving per-core
+/// requests to the cluster maximum on shared-rail hardware (the same
+/// arbitration `cpufreq` applies within a frequency policy).
+fn apply_decision(platform: &mut Platform, decision: &VfDecision) -> Result<(), SimError> {
+    match (platform.vf().domain(), decision) {
+        (_, VfDecision::NoChange) => Ok(()),
+        (_, VfDecision::Cluster(i)) => platform.try_set_cluster_opp(*i),
+        (VfDomain::PerCore, VfDecision::PerCore(per)) => {
+            for (core, &opp) in per.iter().enumerate() {
+                platform.try_set_core_opp(core, opp)?;
+            }
+            Ok(())
+        }
+        (VfDomain::PerCluster, VfDecision::PerCore(_)) => {
+            let resolved = decision.resolve_cluster(platform.current_opp());
+            platform.try_set_cluster_opp(resolved)
+        }
+    }
+}
+
+/// Maps a frame's per-thread demands onto per-core work slices (thread
+/// `i` runs on core `i`; surplus threads fold onto the last core, idle
+/// cores receive nothing).
+fn to_work_slices(demand: &qgov_workloads::FrameDemand, cores: usize) -> Vec<WorkSlice> {
+    let mut work = vec![WorkSlice::IDLE; cores];
+    for (i, t) in demand.threads.iter().enumerate() {
+        let core = i.min(cores - 1);
+        work[core] = WorkSlice::new(
+            work[core].cpu_cycles + t.cpu_cycles,
+            work[core].mem_time + t.mem_time,
+        );
+    }
+    work
+}
+
+/// Runs `governor` against `app` for `frames` epochs (capped at the
+/// application's own length if shorter than requested) on a platform
+/// built from `platform_config`.
+///
+/// The loop per decision epoch:
+/// 1. fetch the frame's work demand and execute it to the barrier;
+/// 2. record metrics;
+/// 3. let the governor observe the completed frame and decide the next
+///    operating point;
+/// 4. charge the governor's processing overhead and the V-F transition
+///    latency to the next frame (the paper's `T_OVH`).
+///
+/// # Panics
+///
+/// Panics if the platform configuration is invalid or a decision is out
+/// of range — both indicate programming errors in the experiment setup.
+pub fn run_experiment(
+    governor: &mut dyn Governor,
+    app: &mut dyn Application,
+    platform_config: PlatformConfig,
+    frames: u64,
+) -> ExperimentOutcome {
+    let mut platform = Platform::new(platform_config).expect("valid platform config");
+    let period = app.period();
+    let cores = platform.cores();
+    let ctx = GovernorContext::new(platform.opp_table().clone(), cores, period);
+
+    app.reset();
+    let first = governor.init(&ctx);
+    apply_decision(&mut platform, &first).expect("initial decision in range");
+
+    let total = frames.min(app.frames());
+    let mut report = RunReport::new(governor.name(), app.name(), period);
+    for epoch in 0..total {
+        let demand = app.next_frame();
+        let work = to_work_slices(&demand, cores);
+        let frame = platform
+            .run_frame(&work, period)
+            .expect("work vector sized to cores");
+        report.record_frame(
+            frame.frame_time,
+            frame.wall_time,
+            frame.energy,
+            frame.cluster_opp,
+            frame.met_deadline(),
+        );
+        let decision = governor.decide(&EpochObservation {
+            frame: &frame,
+            epoch,
+        });
+        apply_decision(&mut platform, &decision).expect("decision in range");
+        platform.add_overhead(governor.processing_overhead());
+    }
+    report.set_run_totals(
+        platform.total_energy(),
+        platform.vf().transitions(),
+        platform.vf().total_latency(),
+        platform.peak_temperature(),
+    );
+    ExperimentOutcome { report, platform }
+}
+
+/// Records `app` into a trace and returns `(trace, (min, max))` total
+/// cycles per frame — the offline pre-characterisation every learning
+/// governor and the Oracle receive (Section II-A's "design space
+/// exploration").
+#[must_use]
+pub fn precharacterize(app: &mut dyn Application) -> (WorkloadTrace, (f64, f64)) {
+    let trace = WorkloadTrace::record(app);
+    let mut min = f64::INFINITY;
+    let mut max: f64 = 0.0;
+    for i in 0..trace.len() {
+        let c = trace.total_cycles(i).count() as f64;
+        min = min.min(c);
+        max = max.max(c);
+    }
+    if min >= max {
+        // Degenerate constant workload: widen artificially.
+        min *= 0.9;
+        max *= 1.1 + 1e-9;
+    }
+    (trace, (min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgov_governors::{OndemandGovernor, PerformanceGovernor, PowersaveGovernor};
+    use qgov_sim::SensorConfig;
+    use qgov_units::{Cycles, SimTime};
+    use qgov_workloads::SyntheticWorkload;
+
+    fn quiet_config() -> PlatformConfig {
+        PlatformConfig {
+            sensor: SensorConfig::ideal(),
+            ..PlatformConfig::odroid_xu3_a15()
+        }
+    }
+
+    fn medium_app(frames: u64) -> SyntheticWorkload {
+        // 25 Mc/core in 40 ms: needs >= ~640 MHz.
+        SyntheticWorkload::constant(
+            "medium",
+            Cycles::from_mcycles(100),
+            SimTime::from_ms(40),
+            frames,
+            4,
+            3,
+        )
+    }
+
+    #[test]
+    fn performance_governor_always_meets_feasible_deadlines() {
+        let mut gov = PerformanceGovernor::new();
+        let outcome = run_experiment(&mut gov, &mut medium_app(50), quiet_config(), 50);
+        assert_eq!(outcome.report.deadline_misses(), 0);
+        assert_eq!(outcome.report.frames(), 50);
+        assert!(outcome.report.normalized_performance() < 0.5);
+    }
+
+    #[test]
+    fn powersave_misses_what_performance_meets() {
+        let mut gov = PowersaveGovernor::new();
+        let outcome = run_experiment(&mut gov, &mut medium_app(50), quiet_config(), 50);
+        assert!(outcome.report.miss_rate() > 0.9, "200 MHz cannot hold 640 MHz of work");
+        assert!(outcome.report.normalized_performance() > 1.0);
+    }
+
+    #[test]
+    fn powersave_uses_less_energy_than_performance() {
+        let run = |gov: &mut dyn Governor| {
+            run_experiment(gov, &mut medium_app(50), quiet_config(), 50)
+                .report
+                .total_energy()
+        };
+        let hi = run(&mut PerformanceGovernor::new());
+        let lo = run(&mut PowersaveGovernor::new());
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn frame_cap_respects_app_length() {
+        let mut gov = PerformanceGovernor::new();
+        let outcome = run_experiment(&mut gov, &mut medium_app(10), quiet_config(), 1_000);
+        assert_eq!(outcome.report.frames(), 10);
+    }
+
+    #[test]
+    fn ondemand_tracks_load_between_extremes() {
+        let mut gov = OndemandGovernor::linux_default();
+        let outcome = run_experiment(&mut gov, &mut medium_app(200), quiet_config(), 200);
+        let mean_opp = outcome.report.mean_opp();
+        assert!(mean_opp > 1.0, "ondemand should leave the bottom ({mean_opp:.1})");
+        // Proportional scaling on a 60 %-utilisation workload must not
+        // pin the top.
+        assert!(mean_opp < 18.0, "ondemand should not pin the top ({mean_opp:.1})");
+    }
+
+    #[test]
+    fn surplus_threads_fold_onto_last_core() {
+        let demand = qgov_workloads::FrameDemand::split_evenly(
+            Cycles::from_mcycles(60),
+            6,
+            SimTime::ZERO,
+        );
+        let work = to_work_slices(&demand, 4);
+        assert_eq!(work.len(), 4);
+        let total: u64 = work.iter().map(|w| w.cpu_cycles.count()).sum();
+        assert_eq!(total, 60_000_000, "no cycles lost in folding");
+        assert!(work[3].cpu_cycles > work[0].cpu_cycles);
+    }
+
+    #[test]
+    fn precharacterize_reports_bounds() {
+        let mut app = medium_app(30);
+        let (trace, (min, max)) = precharacterize(&mut app);
+        assert_eq!(trace.len(), 30);
+        assert!(min < max);
+        assert!(min > 0.0);
+        // Constant workload: bounds are the widened +-10 %.
+        assert!((max / min - 1.1 / 0.9).abs() < 0.03);
+    }
+
+    #[test]
+    fn identical_runs_are_identical() {
+        let run = || {
+            let mut gov = OndemandGovernor::linux_default();
+            let outcome = run_experiment(&mut gov, &mut medium_app(80), quiet_config(), 80);
+            outcome.report.total_energy().as_joules().to_bits()
+        };
+        assert_eq!(run(), run());
+    }
+}

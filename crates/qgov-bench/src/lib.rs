@@ -1,0 +1,28 @@
+//! Experiment harness and regeneration targets for every table and
+//! figure of Biswas et al., DATE 2017.
+//!
+//! The [`harness`] module drives any [`Governor`](qgov_governors::Governor)
+//! against any [`Application`](qgov_workloads::Application) on the
+//! simulated platform and produces a
+//! [`RunReport`](qgov_metrics::RunReport). The [`experiments`] module
+//! implements one function per table/figure; the `benches/` targets are
+//! thin wrappers that print the results (`cargo bench -p qgov-bench`
+//! regenerates everything).
+//!
+//! | Paper artefact | Function | Bench target |
+//! |---|---|---|
+//! | Table I (normalised energy/performance) | [`experiments::run_table1`] | `table1_energy` |
+//! | Table II (number of explorations) | [`experiments::run_table2`] | `table2_explorations` |
+//! | Table III (learning overhead) | [`experiments::run_table3`] | `table3_overhead` |
+//! | Fig. 3 (misprediction & slack) | [`experiments::run_fig3`] | `fig3_misprediction` |
+//! | N-levels ablation | [`experiments::run_state_levels_ablation`] | `ablation_state_levels` |
+//! | EWMA-γ ablation | [`experiments::run_smoothing_ablation`] | `ablation_smoothing` |
+//! | Shared-table ablation | [`experiments::run_shared_table_ablation`] | `ablation_shared_table` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{run_experiment, ExperimentOutcome};

@@ -1,0 +1,253 @@
+//! RTM configuration.
+
+use crate::OverheadModel;
+use qgov_rl::{DecayingEpsilon, RlError, SlackReward};
+
+/// Which exploration policy drives action selection during learning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExplorationKind {
+    /// The paper's slack-aware Exponential Probability Distribution
+    /// (Eq. 2).
+    Epd {
+        /// Uniform base probability λ.
+        lambda: f64,
+        /// Slack-bias sharpness β.
+        beta: f64,
+    },
+    /// Uniform random exploration — the prior-work baseline \[21\]
+    /// (Shen et al., TODAES 2013) that Table II compares against.
+    Upd,
+    /// Boltzmann exploration over Q-values (ablation extra).
+    Softmax {
+        /// Temperature τ.
+        temperature: f64,
+    },
+}
+
+/// How the workload dimension of the Q-table state is formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateKind {
+    /// Single-agent formulation of Section II-A applied to the whole
+    /// V-F domain: the predicted **total** cycle count, discretised over
+    /// the pre-characterised workload range. The natural choice on
+    /// shared-rail hardware like the XU3's A15 cluster, and the
+    /// default.
+    TotalWorkload,
+    /// The many-core formulation of Section II-D: per-core predicted
+    /// workload normalised by the system total (Eq. 7), with one core's
+    /// state/update per decision epoch in round-robin order on the
+    /// shared Q-table.
+    PerCoreShare,
+}
+
+/// Full parameterisation of the [`RtmGovernor`](crate::RtmGovernor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtmConfig {
+    /// Discretisation levels N for the workload dimension (paper: 5).
+    pub workload_levels: usize,
+    /// Discretisation levels N for the slack dimension (paper: 5).
+    pub slack_levels: usize,
+    /// Q-learning rate α (Eq. 3).
+    pub alpha: f64,
+    /// Q-learning discount factor γ (Eq. 3).
+    pub discount: f64,
+    /// EWMA smoothing factor γ (Eq. 1; paper: 0.6).
+    pub smoothing: f64,
+    /// Exploration policy (Eq. 2 by default).
+    pub exploration: ExplorationKind,
+    /// Exploration-probability schedule ε (Eq. 6).
+    pub epsilon: DecayingEpsilon,
+    /// Pay-off function (Eq. 4).
+    pub reward: SlackReward,
+    /// Sliding window for the average slack ratio `L` (Eq. 5);
+    /// `None` is the strictly cumulative paper form.
+    pub slack_window: Option<usize>,
+    /// Quiet-window length for convergence detection (epochs).
+    pub convergence_window: u64,
+    /// Optimistic initial-Q gradient towards high frequencies: fresh
+    /// states greedily start fast and crawl down through energy
+    /// penalties rather than up through deadline misses (the learning
+    /// analogue of the governor's maximum-frequency boot).
+    pub optimistic_gradient: f64,
+    /// Workload range `(min, max)` in cycles from offline
+    /// pre-characterisation; `None` auto-calibrates during the first
+    /// [`calibration_frames`](RtmConfig::calibration_frames).
+    pub workload_bounds: Option<(f64, f64)>,
+    /// Frames of online auto-calibration when no bounds are given.
+    pub calibration_frames: usize,
+    /// State formation (Section II-A vs II-D).
+    pub state_kind: StateKind,
+    /// Model for the RTM's own per-epoch compute cost (part of
+    /// `T_OVH`).
+    pub overhead: OverheadModel,
+    /// RNG seed for exploration sampling.
+    pub seed: u64,
+}
+
+impl RtmConfig {
+    /// The configuration reproducing the paper's reported setup:
+    /// N = 5 workload and slack levels, EWMA γ = 0.6, EPD exploration,
+    /// accelerated ε decay, slack-peaked reward.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        RtmConfig {
+            workload_levels: 5,
+            slack_levels: 5,
+            alpha: 0.3,
+            discount: 0.5,
+            smoothing: 0.6,
+            exploration: ExplorationKind::Epd {
+                lambda: 1.0 / 19.0,
+                beta: 2.0,
+            },
+            epsilon: DecayingEpsilon::paper(),
+            reward: SlackReward::paper(),
+            // A short window keeps L responsive enough for per-action
+            // credit assignment; Eq. 5's unbounded mean is available via
+            // `slack_window: None` (the paper bounds D by restarting it
+            // whenever T_ref changes).
+            slack_window: Some(8),
+            convergence_window: 20,
+            optimistic_gradient: 0.05,
+            workload_bounds: None,
+            calibration_frames: 16,
+            state_kind: StateKind::TotalWorkload,
+            overhead: OverheadModel::typical(),
+            seed,
+        }
+    }
+
+    /// The uniform-exploration baseline of Table II (\[21\], Shen et
+    /// al.): identical to [`paper`](RtmConfig::paper) except UPD
+    /// exploration and the standard (slower) ε decay — isolating
+    /// exactly the exploration-policy difference the paper measures.
+    #[must_use]
+    pub fn upd_baseline(seed: u64) -> Self {
+        RtmConfig {
+            exploration: ExplorationKind::Upd,
+            epsilon: DecayingEpsilon::new(1.0, 0.03, 0.01).expect("valid schedule"),
+            ..Self::paper(seed)
+        }
+    }
+
+    /// Sets offline pre-characterised workload bounds (total cycles per
+    /// frame), skipping online calibration.
+    #[must_use]
+    pub fn with_workload_bounds(mut self, min: f64, max: f64) -> Self {
+        self.workload_bounds = Some((min, max));
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RlError`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), RlError> {
+        RlError::check_nonempty("workload_levels", self.workload_levels)?;
+        RlError::check_nonempty("slack_levels", self.slack_levels)?;
+        RlError::check_probability("alpha", self.alpha)?;
+        RlError::check_probability("discount", self.discount)?;
+        RlError::check_probability("smoothing", self.smoothing)?;
+        RlError::check_positive("smoothing", self.smoothing)?;
+        RlError::check_nonempty("convergence_window", self.convergence_window as usize)?;
+        if !(self.optimistic_gradient.is_finite() && self.optimistic_gradient >= 0.0) {
+            return Err(RlError::NotPositive {
+                name: "optimistic_gradient",
+                value: self.optimistic_gradient.to_string(),
+            });
+        }
+        match &self.exploration {
+            ExplorationKind::Epd { lambda, beta } => {
+                RlError::check_positive("lambda", *lambda)?;
+                RlError::check_positive("beta", *beta)?;
+            }
+            ExplorationKind::Upd => {}
+            ExplorationKind::Softmax { temperature } => {
+                RlError::check_positive("temperature", *temperature)?;
+            }
+        }
+        if let Some((min, max)) = self.workload_bounds {
+            if !(min.is_finite() && max.is_finite() && min < max && min >= 0.0) {
+                return Err(RlError::NotPositive {
+                    name: "workload_bounds width",
+                    value: format!("({min}, {max})"),
+                });
+            }
+        } else {
+            RlError::check_nonempty("calibration_frames", self.calibration_frames)?;
+        }
+        if let Some(w) = self.slack_window {
+            RlError::check_nonempty("slack_window", w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid_and_matches_reported_constants() {
+        let c = RtmConfig::paper(0);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.workload_levels, 5, "paper uses N = 5");
+        assert_eq!(c.slack_levels, 5);
+        assert_eq!(c.smoothing, 0.6, "paper determines gamma = 0.6");
+        assert!(matches!(c.exploration, ExplorationKind::Epd { .. }));
+        assert_eq!(c.state_kind, StateKind::TotalWorkload);
+    }
+
+    #[test]
+    fn upd_baseline_differs_only_in_exploration() {
+        let ours = RtmConfig::paper(3);
+        let upd = RtmConfig::upd_baseline(3);
+        assert_eq!(upd.exploration, ExplorationKind::Upd);
+        assert_eq!(ours.workload_levels, upd.workload_levels);
+        assert_eq!(ours.reward, upd.reward);
+        assert_eq!(ours.smoothing, upd.smoothing);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = RtmConfig::paper(0);
+        c.workload_levels = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = RtmConfig::paper(0);
+        c.alpha = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = RtmConfig::paper(0);
+        c.smoothing = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = RtmConfig::paper(0);
+        c.exploration = ExplorationKind::Epd {
+            lambda: 0.0,
+            beta: 2.0,
+        };
+        assert!(c.validate().is_err());
+
+        let mut c = RtmConfig::paper(0);
+        c.workload_bounds = Some((10.0, 5.0));
+        assert!(c.validate().is_err());
+
+        let mut c = RtmConfig::paper(0);
+        c.workload_bounds = None;
+        c.calibration_frames = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = RtmConfig::paper(0);
+        c.slack_window = Some(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_workload_bounds_sets_bounds() {
+        let c = RtmConfig::paper(0).with_workload_bounds(1e6, 1e9);
+        assert_eq!(c.workload_bounds, Some((1e6, 1e9)));
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,84 @@
+//! The RTM's own compute-cost model.
+//!
+//! Section III-D decomposes the learning overhead into "(1) sensor
+//! sampling comprising performance counter register accesses, (2)
+//! processing and (3) V-F transitions". The V-F component is accounted
+//! by the platform's [`VfController`](qgov_sim::VfController); this
+//! model covers the first two, scaling with the number of cores sampled
+//! and the Q-table row scanned per decision.
+
+use qgov_units::SimTime;
+
+/// Per-epoch sensing + processing cost of a learning governor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverheadModel {
+    /// PMU register access cost per core.
+    pub sample_per_core: SimTime,
+    /// Fixed decision cost (slack update, reward, bookkeeping).
+    pub base_processing: SimTime,
+    /// Per-action cost of the Bellman update + argmax row scan.
+    pub per_action: SimTime,
+}
+
+impl OverheadModel {
+    /// Costs representative of a kernel-space governor on an A15:
+    /// 5 µs per PMU sample, 15 µs fixed, 0.2 µs per action scanned.
+    #[must_use]
+    pub fn typical() -> Self {
+        OverheadModel {
+            sample_per_core: SimTime::from_us(5),
+            base_processing: SimTime::from_us(15),
+            per_action: SimTime::from_ns(200),
+        }
+    }
+
+    /// A zero-cost model for ablations that isolate algorithmic
+    /// behaviour from overhead effects.
+    #[must_use]
+    pub fn free() -> Self {
+        OverheadModel {
+            sample_per_core: SimTime::ZERO,
+            base_processing: SimTime::ZERO,
+            per_action: SimTime::ZERO,
+        }
+    }
+
+    /// Total per-epoch cost for `cores` sampled cores and `actions`
+    /// Q-table columns.
+    #[must_use]
+    pub fn cost(&self, cores: usize, actions: usize) -> SimTime {
+        self.sample_per_core * cores as u64
+            + self.base_processing
+            + self.per_action * actions as u64
+    }
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_cost_is_tens_of_microseconds() {
+        let cost = OverheadModel::typical().cost(4, 19);
+        assert!(cost >= SimTime::from_us(30));
+        assert!(cost <= SimTime::from_us(60), "got {cost}");
+    }
+
+    #[test]
+    fn cost_scales_with_cores_and_actions() {
+        let m = OverheadModel::typical();
+        assert!(m.cost(8, 19) > m.cost(4, 19));
+        assert!(m.cost(4, 40) > m.cost(4, 19));
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        assert_eq!(OverheadModel::free().cost(16, 100), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,216 @@
+//! Q-table state formation: workload level × slack level.
+
+use qgov_rl::{Discretizer, QuantileDiscretizer, RlError, UniformDiscretizer};
+
+/// Maps continuous (workload, slack) measurements onto Q-table row
+/// indices.
+///
+/// The workload dimension is discretised by the quantiles of
+/// pre-characterisation samples (Section II-A's "pre-characterisation
+/// of the applications … design space exploration"); the slack ratio
+/// `L ∈ [−1, 1]` is discretised uniformly. For the many-core
+/// formulation, per-core *shares* of the total workload (Eq. 7) are
+/// discretised uniformly over `[0, 2/C]` — twice the fair share — so a
+/// balanced system sits mid-scale.
+///
+/// # Examples
+///
+/// ```
+/// use qgov_core::StateMapper;
+///
+/// let samples: Vec<f64> = (0..100).map(|i| 1e6 * f64::from(i)).collect();
+/// let mapper = StateMapper::from_samples(&samples, 5, 5, 4).unwrap();
+/// assert_eq!(mapper.states(), 25);
+/// let low = mapper.state_for_total(1e6, -0.5);
+/// let high = mapper.state_for_total(9.9e7, -0.5);
+/// assert_ne!(low, high);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateMapper {
+    workload: QuantileDiscretizer,
+    share: UniformDiscretizer,
+    slack: UniformDiscretizer,
+}
+
+impl StateMapper {
+    /// Builds a mapper from pre-characterisation workload samples
+    /// (total cycles per frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RlError`] if any level count is zero or the samples
+    /// are empty/non-finite.
+    pub fn from_samples(
+        samples: &[f64],
+        workload_levels: usize,
+        slack_levels: usize,
+        cores: usize,
+    ) -> Result<Self, RlError> {
+        RlError::check_nonempty("cores", cores)?;
+        Ok(StateMapper {
+            workload: QuantileDiscretizer::from_samples(samples, workload_levels)?,
+            share: UniformDiscretizer::new(0.0, 2.0 / cores as f64, workload_levels)?,
+            slack: UniformDiscretizer::new(-1.0, 1.0 + 1e-12, slack_levels)?,
+        })
+    }
+
+    /// Builds a mapper from a `(min, max)` workload range (offline
+    /// pre-characterisation); equivalent to uniform binning of the
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RlError`] for an empty or inverted range or zero
+    /// level counts.
+    pub fn from_bounds(
+        min: f64,
+        max: f64,
+        workload_levels: usize,
+        slack_levels: usize,
+        cores: usize,
+    ) -> Result<Self, RlError> {
+        if !(min.is_finite() && max.is_finite() && min < max) {
+            return Err(RlError::NotPositive {
+                name: "workload range width",
+                value: format!("({min}, {max})"),
+            });
+        }
+        // Uniformly spaced pseudo-samples make quantile == uniform bins.
+        let n = (workload_levels * 16).max(64);
+        let samples: Vec<f64> = (0..=n)
+            .map(|i| min + (max - min) * i as f64 / n as f64)
+            .collect();
+        Self::from_samples(&samples, workload_levels, slack_levels, cores)
+    }
+
+    /// Number of workload levels.
+    #[must_use]
+    pub fn workload_levels(&self) -> usize {
+        self.workload.levels()
+    }
+
+    /// Number of slack levels.
+    #[must_use]
+    pub fn slack_levels(&self) -> usize {
+        self.slack.levels()
+    }
+
+    /// Total number of Q-table states, `|S| = N_workload × N_slack`.
+    #[must_use]
+    pub fn states(&self) -> usize {
+        self.workload.levels() * self.slack.levels()
+    }
+
+    /// State index for a predicted **total** workload (cycles) and
+    /// average slack (Section II-A formulation).
+    #[must_use]
+    pub fn state_for_total(&self, total_cycles: f64, slack: f64) -> usize {
+        let w = self.workload.level_of(total_cycles);
+        let l = self.slack.level_of(slack);
+        w * self.slack.levels() + l
+    }
+
+    /// State index for one core's normalised workload share (Eq. 7) and
+    /// average slack (Section II-D formulation).
+    #[must_use]
+    pub fn state_for_share(&self, share: f64, slack: f64) -> usize {
+        let w = self.share.level_of(share);
+        let l = self.slack.level_of(slack);
+        w * self.slack.levels() + l
+    }
+
+    /// Normalises per-core predicted workloads by the system total —
+    /// Eq. 7. A zero total yields equal shares.
+    #[must_use]
+    pub fn normalize_shares(predictions: &[f64]) -> Vec<f64> {
+        let total: f64 = predictions.iter().sum();
+        if total <= 0.0 {
+            return vec![1.0 / predictions.len().max(1) as f64; predictions.len()];
+        }
+        predictions.iter().map(|&p| p / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper() -> StateMapper {
+        StateMapper::from_bounds(0.0, 100.0, 5, 5, 4).unwrap()
+    }
+
+    #[test]
+    fn state_space_size_is_product() {
+        assert_eq!(mapper().states(), 25);
+        let m = StateMapper::from_bounds(0.0, 1.0, 3, 7, 4).unwrap();
+        assert_eq!(m.states(), 21);
+    }
+
+    #[test]
+    fn distinct_dimensions_produce_distinct_states() {
+        let m = mapper();
+        let s1 = m.state_for_total(10.0, 0.0);
+        let s2 = m.state_for_total(90.0, 0.0);
+        let s3 = m.state_for_total(10.0, 0.9);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_ne!(s2, s3);
+    }
+
+    #[test]
+    fn all_states_are_in_range() {
+        let m = mapper();
+        for wl in [-10.0, 0.0, 25.0, 50.0, 99.0, 1e9] {
+            for sl in [-5.0, -1.0, -0.2, 0.0, 0.4, 1.0, 5.0] {
+                assert!(m.state_for_total(wl, sl) < m.states());
+                assert!(m.state_for_share(wl / 100.0, sl) < m.states());
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_share_sits_mid_scale() {
+        let m = mapper();
+        // Fair share on 4 cores = 0.25 over [0, 0.5]: level 2 of 5.
+        let s = m.state_for_share(0.25, 0.0);
+        let expected_level = 2;
+        assert_eq!(s / m.slack_levels(), expected_level);
+    }
+
+    #[test]
+    fn normalize_shares_matches_equation_seven() {
+        let shares = StateMapper::normalize_shares(&[10.0, 30.0, 40.0, 20.0]);
+        assert_eq!(shares, vec![0.1, 0.3, 0.4, 0.2]);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_gives_equal_shares() {
+        let shares = StateMapper::normalize_shares(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(shares, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn quantile_mapper_balances_skewed_workloads() {
+        // Cubic-skewed samples: quantile boundaries still split evenly.
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64).powi(3)).collect();
+        let m = StateMapper::from_samples(&samples, 5, 5, 4).unwrap();
+        let mut counts = [0usize; 5];
+        for &s in &samples {
+            counts[m.state_for_total(s, 0.0) / m.slack_levels()] += 1;
+        }
+        for &c in &counts {
+            assert!((150..=250).contains(&c), "unbalanced {counts:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(StateMapper::from_samples(&[], 5, 5, 4).is_err());
+        assert!(StateMapper::from_bounds(1.0, 1.0, 5, 5, 4).is_err());
+        assert!(StateMapper::from_bounds(0.0, 1.0, 0, 5, 4).is_err());
+        assert!(StateMapper::from_bounds(0.0, 1.0, 5, 0, 4).is_err());
+        assert!(StateMapper::from_bounds(0.0, 1.0, 5, 5, 0).is_err());
+    }
+}

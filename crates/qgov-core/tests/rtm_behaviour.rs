@@ -1,0 +1,217 @@
+//! Behavioural scenario tests for the RTM: adaptation to workload
+//! changes, performance-requirement sensitivity, and telemetry
+//! integrity.
+
+use qgov_core::{RtmConfig, RtmGovernor, StateKind};
+use qgov_governors::{EpochObservation, Governor, GovernorContext};
+use qgov_sim::{DvfsConfig, Platform, PlatformConfig, SensorConfig, WorkSlice};
+use qgov_units::{Cycles, SimTime};
+use qgov_workloads::{Application, SyntheticWorkload};
+
+/// Drives an RTM against a live platform; returns per-epoch (opp, met)
+/// pairs.
+fn drive(rtm: &mut RtmGovernor, app: &mut dyn Application, frames: u64) -> Vec<(usize, bool)> {
+    let mut platform = Platform::new(PlatformConfig {
+        sensor: SensorConfig::ideal(),
+        dvfs: DvfsConfig::typical(),
+        ..PlatformConfig::odroid_xu3_a15()
+    })
+    .unwrap();
+    let ctx = GovernorContext::new(
+        platform.opp_table().clone(),
+        platform.cores(),
+        app.period(),
+    );
+    let first = rtm.init(&ctx);
+    platform.set_cluster_opp(first.resolve_cluster(platform.current_opp()));
+    app.reset();
+
+    let mut log = Vec::new();
+    for epoch in 0..frames {
+        let demand = app.next_frame();
+        let work: Vec<WorkSlice> = (0..platform.cores())
+            .map(|c| {
+                demand
+                    .threads
+                    .get(c)
+                    .map_or(WorkSlice::IDLE, |t| WorkSlice::new(t.cpu_cycles, t.mem_time))
+            })
+            .collect();
+        let frame = platform.run_frame(&work, app.period()).unwrap();
+        log.push((frame.cluster_opp, frame.met_deadline()));
+        let d = rtm.decide(&EpochObservation {
+            frame: &frame,
+            epoch,
+        });
+        platform.set_cluster_opp(d.resolve_cluster(platform.current_opp()));
+        platform.add_overhead(rtm.processing_overhead());
+    }
+    log
+}
+
+#[test]
+fn adapts_to_a_step_workload_change() {
+    // Workload doubles at frame 150: the RTM must track upward and keep
+    // meeting deadlines after re-adapting.
+    let mut app = SyntheticWorkload::step(
+        "step",
+        Cycles::from_mcycles(80),
+        2.0,
+        150,
+        SimTime::from_ms(40),
+        400,
+        4,
+        3,
+    );
+    let mut rtm = RtmGovernor::new(RtmConfig::paper(5).with_workload_bounds(5e7, 2.5e8)).unwrap();
+    let log = drive(&mut rtm, &mut app, 400);
+
+    let mean_opp = |range: std::ops::Range<usize>| -> f64 {
+        log[range.clone()].iter().map(|&(o, _)| o as f64).sum::<f64>() / range.len() as f64
+    };
+    let before = mean_opp(100..150);
+    let after = mean_opp(300..400);
+    assert!(
+        after > before + 1.0,
+        "post-step OPP ({after:.1}) must exceed pre-step ({before:.1})"
+    );
+    let late_misses = log[300..400].iter().filter(|&&(_, met)| !met).count();
+    assert!(
+        late_misses <= 10,
+        "after re-adaptation deadlines should mostly hold ({late_misses} misses)"
+    );
+}
+
+#[test]
+fn tighter_deadlines_demand_higher_opps() {
+    let run_with_period = |period_ms: u64| -> f64 {
+        let mut app = SyntheticWorkload::constant(
+            "fixed",
+            Cycles::from_mcycles(120),
+            SimTime::from_ms(period_ms),
+            300,
+            4,
+            7,
+        );
+        let mut rtm =
+            RtmGovernor::new(RtmConfig::paper(7).with_workload_bounds(1e8, 1.4e8)).unwrap();
+        let log = drive(&mut rtm, &mut app, 300);
+        log[200..].iter().map(|&(o, _)| o as f64).sum::<f64>() / 100.0
+    };
+    let relaxed = run_with_period(80);
+    let tight = run_with_period(25);
+    assert!(
+        tight > relaxed + 2.0,
+        "a 25 ms deadline needs higher OPPs than an 80 ms one ({tight:.1} vs {relaxed:.1})"
+    );
+}
+
+#[test]
+fn history_is_complete_and_internally_consistent() {
+    let frames = 200u64;
+    let mut app = SyntheticWorkload::constant(
+        "c",
+        Cycles::from_mcycles(100),
+        SimTime::from_ms(40),
+        frames,
+        4,
+        1,
+    )
+    .with_noise(0.1);
+    let mut rtm = RtmGovernor::new(RtmConfig::paper(1).with_workload_bounds(5e7, 1.5e8)).unwrap();
+    drive(&mut rtm, &mut app, frames);
+
+    let history = rtm.history();
+    assert_eq!(history.len(), frames as usize);
+    for (i, r) in history.iter().enumerate() {
+        assert_eq!(r.epoch, i as u64);
+        assert!(r.action < 19);
+        assert!(r.state < 25);
+        assert!((0.0..=1.0).contains(&r.epsilon));
+        assert!(r.actual_total_cycles > 0.0);
+        assert!(r.avg_slack.is_finite());
+    }
+    // Epsilon is non-increasing; explorations are non-decreasing.
+    for pair in history.windows(2) {
+        assert!(pair[1].epsilon <= pair[0].epsilon + 1e-12);
+        assert!(pair[1].explorations >= pair[0].explorations);
+    }
+}
+
+#[test]
+fn both_state_formulations_learn_the_same_steady_workload() {
+    for kind in [StateKind::TotalWorkload, StateKind::PerCoreShare] {
+        let mut app = SyntheticWorkload::constant(
+            "c",
+            Cycles::from_mcycles(120),
+            SimTime::from_ms(40),
+            300,
+            4,
+            9,
+        );
+        let mut config = RtmConfig::paper(9).with_workload_bounds(1e8, 1.4e8);
+        config.state_kind = kind;
+        let mut rtm = RtmGovernor::new(config).unwrap();
+        let log = drive(&mut rtm, &mut app, 300);
+        let misses = log[200..].iter().filter(|&&(_, met)| !met).count();
+        assert!(
+            misses <= 15,
+            "{kind:?}: converged policy should hold deadlines ({misses} misses)"
+        );
+    }
+}
+
+#[test]
+fn auto_calibration_matches_offline_bounds_eventually() {
+    // Without offline bounds the RTM pre-characterises online; after
+    // convergence both variants should settle at comparable OPPs.
+    let make_app = || {
+        SyntheticWorkload::constant(
+            "c",
+            Cycles::from_mcycles(120),
+            SimTime::from_ms(40),
+            400,
+            4,
+            11,
+        )
+        .with_noise(0.05)
+    };
+    let tail_mean = |log: &[(usize, bool)]| -> f64 {
+        log[300..].iter().map(|&(o, _)| o as f64).sum::<f64>() / 100.0
+    };
+
+    let mut auto_rtm = RtmGovernor::new(RtmConfig::paper(2)).unwrap();
+    let auto_log = drive(&mut auto_rtm, &mut make_app(), 400);
+    assert!(auto_rtm.state_mapper().is_some(), "calibration must complete");
+
+    let mut offline_rtm =
+        RtmGovernor::new(RtmConfig::paper(2).with_workload_bounds(1e8, 1.4e8)).unwrap();
+    let offline_log = drive(&mut offline_rtm, &mut make_app(), 400);
+
+    let diff = (tail_mean(&auto_log) - tail_mean(&offline_log)).abs();
+    assert!(
+        diff < 3.0,
+        "auto-calibrated and offline-bounded RTMs should settle near each other (diff {diff:.1})"
+    );
+}
+
+#[test]
+fn second_init_fully_resets_learning() {
+    let mut app = SyntheticWorkload::constant(
+        "c",
+        Cycles::from_mcycles(100),
+        SimTime::from_ms(40),
+        150,
+        4,
+        3,
+    );
+    let mut rtm = RtmGovernor::new(RtmConfig::paper(3).with_workload_bounds(5e7, 1.5e8)).unwrap();
+    let first = drive(&mut rtm, &mut app, 150);
+    let explorations_after_first = rtm.exploration_count();
+    assert!(explorations_after_first > 0);
+
+    // Re-init (new application arrives): everything restarts.
+    let second = drive(&mut rtm, &mut app, 150);
+    assert_eq!(rtm.history().len(), 150, "history restarted");
+    assert_eq!(first, second, "identical app + fresh init = identical run");
+}

@@ -1,0 +1,190 @@
+//! The Linux conservative governor.
+//!
+//! Like ondemand but "gracefully increases and decreases the CPU speed
+//! rather than jumping to max speed" — it moves by a fixed frequency
+//! step when the load crosses the up/down thresholds. Included for
+//! completeness of the stock-governor family; not part of the paper's
+//! comparison tables.
+
+use crate::{EpochObservation, Governor, GovernorContext, VfDecision};
+use qgov_sim::OppTable;
+use qgov_units::{Freq, SimTime};
+
+/// The conservative governor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConservativeGovernor {
+    up_threshold: f64,
+    down_threshold: f64,
+    /// Step as a fraction of the maximum frequency (kernel default 5 %).
+    freq_step: f64,
+    table: Option<OppTable>,
+    current: usize,
+}
+
+impl ConservativeGovernor {
+    /// Creates a conservative governor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < down_threshold < up_threshold <= 1` and
+    /// `0 < freq_step <= 1`.
+    #[must_use]
+    pub fn new(up_threshold: f64, down_threshold: f64, freq_step: f64) -> Self {
+        assert!(
+            up_threshold.is_finite() && down_threshold.is_finite() && freq_step.is_finite(),
+            "thresholds must be finite"
+        );
+        assert!(
+            0.0 < down_threshold && down_threshold < up_threshold && up_threshold <= 1.0,
+            "need 0 < down_threshold < up_threshold <= 1"
+        );
+        assert!(
+            0.0 < freq_step && freq_step <= 1.0,
+            "freq_step must lie in (0, 1]"
+        );
+        ConservativeGovernor {
+            up_threshold,
+            down_threshold,
+            freq_step,
+            table: None,
+            current: 0,
+        }
+    }
+
+    /// Kernel defaults: up 80 %, down 20 %, step 5 % of max frequency.
+    #[must_use]
+    pub fn linux_default() -> Self {
+        Self::new(0.80, 0.20, 0.05)
+    }
+}
+
+impl Governor for ConservativeGovernor {
+    fn name(&self) -> &str {
+        "conservative"
+    }
+
+    fn init(&mut self, ctx: &GovernorContext) -> VfDecision {
+        self.table = Some(ctx.opp_table().clone());
+        // Conservative starts low and works its way up.
+        self.current = 0;
+        VfDecision::Cluster(0)
+    }
+
+    fn decide(&mut self, obs: &EpochObservation<'_>) -> VfDecision {
+        let table = self.table.as_ref().expect("init() must be called first");
+        let cores = obs.frame.per_core_busy.len();
+        let load = (0..cores)
+            .map(|c| obs.frame.utilization(c))
+            .fold(0.0f64, f64::max);
+
+        let step_khz = (table.max_freq().khz() as f64 * self.freq_step) as u64;
+        let cur_freq = table.get(self.current).expect("current index valid").freq;
+
+        if load >= self.up_threshold {
+            let target = Freq::from_khz(cur_freq.khz() + step_khz);
+            self.current = table.index_at_or_above(target);
+        } else if load <= self.down_threshold {
+            let target = Freq::from_khz(cur_freq.khz().saturating_sub(step_khz));
+            self.current = table.index_at_or_below(target);
+        }
+        VfDecision::Cluster(self.current)
+    }
+
+    fn processing_overhead(&self) -> SimTime {
+        SimTime::from_us(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgov_sim::{FrameResult, OppTable};
+    use qgov_units::{Cycles, Energy, Power, SimTime, Temp};
+
+    fn frame_with_load(load: f64) -> FrameResult {
+        let period = SimTime::from_ms(40);
+        FrameResult {
+            frame_time: period.scale(load),
+            wall_time: period,
+            period,
+            overhead: SimTime::ZERO,
+            per_core_busy: vec![period.scale(load); 4],
+            per_core_cycles: vec![Cycles::from_mcycles(1); 4],
+            energy: Energy::from_joules(0.1),
+            avg_power: Power::from_watts(1.0),
+            measured_power: Power::from_watts(1.0),
+            measured_energy: Energy::from_joules(0.1),
+            temperature: Temp::default(),
+            cluster_opp: 0,
+        }
+    }
+
+    fn ctx() -> GovernorContext {
+        GovernorContext::new(OppTable::odroid_xu3_a15(), 4, SimTime::from_ms(40))
+    }
+
+    #[test]
+    fn climbs_gradually_under_load() {
+        let mut g = ConservativeGovernor::linux_default();
+        g.init(&ctx());
+        let hot = frame_with_load(0.95);
+        let first = g.decide(&EpochObservation { frame: &hot, epoch: 0 });
+        // One 5 % step of 2000 MHz = 100 MHz: from 200 to 300 MHz (idx 1).
+        assert_eq!(first, VfDecision::Cluster(1));
+        let second = g.decide(&EpochObservation { frame: &hot, epoch: 1 });
+        assert_eq!(second, VfDecision::Cluster(2));
+    }
+
+    #[test]
+    fn descends_gradually_when_idle() {
+        let mut g = ConservativeGovernor::linux_default();
+        g.init(&ctx());
+        let hot = frame_with_load(0.95);
+        for e in 0..18 {
+            g.decide(&EpochObservation { frame: &hot, epoch: e });
+        }
+        let cold = frame_with_load(0.05);
+        let d = g.decide(&EpochObservation { frame: &cold, epoch: 20 });
+        // 18 hot epochs climbed 100 MHz each: 200 -> 2000 MHz (index 18);
+        // one cold epoch steps 100 MHz back down to 1900 MHz.
+        assert_eq!(d, VfDecision::Cluster(17), "one step down from 18");
+    }
+
+    #[test]
+    fn holds_in_the_comfort_band() {
+        let mut g = ConservativeGovernor::linux_default();
+        g.init(&ctx());
+        let mid = frame_with_load(0.5);
+        assert_eq!(
+            g.decide(&EpochObservation { frame: &mid, epoch: 0 }),
+            VfDecision::Cluster(0)
+        );
+    }
+
+    #[test]
+    fn saturates_at_table_ends() {
+        let mut g = ConservativeGovernor::linux_default();
+        g.init(&ctx());
+        let cold = frame_with_load(0.01);
+        assert_eq!(
+            g.decide(&EpochObservation { frame: &cold, epoch: 0 }),
+            VfDecision::Cluster(0),
+            "cannot go below the bottom"
+        );
+        let hot = frame_with_load(1.0);
+        for e in 0..40 {
+            g.decide(&EpochObservation { frame: &hot, epoch: e });
+        }
+        assert_eq!(
+            g.decide(&EpochObservation { frame: &hot, epoch: 41 }),
+            VfDecision::Cluster(18),
+            "cannot go above the top"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "down_threshold")]
+    fn inverted_thresholds_panic() {
+        let _ = ConservativeGovernor::new(0.2, 0.8, 0.05);
+    }
+}

@@ -1,0 +1,120 @@
+//! The trivial stock governors: performance, powersave, userspace.
+
+use crate::{EpochObservation, Governor, GovernorContext, VfDecision};
+
+/// Always runs at the highest operating point (Linux `performance`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerformanceGovernor {
+    top: usize,
+}
+
+impl PerformanceGovernor {
+    /// Creates the governor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Governor for PerformanceGovernor {
+    fn name(&self) -> &str {
+        "performance"
+    }
+
+    fn init(&mut self, ctx: &GovernorContext) -> VfDecision {
+        self.top = ctx.opp_table().max_index();
+        VfDecision::Cluster(self.top)
+    }
+
+    fn decide(&mut self, _obs: &EpochObservation<'_>) -> VfDecision {
+        VfDecision::NoChange
+    }
+}
+
+/// Always runs at the lowest operating point (Linux `powersave`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PowersaveGovernor;
+
+impl PowersaveGovernor {
+    /// Creates the governor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Governor for PowersaveGovernor {
+    fn name(&self) -> &str {
+        "powersave"
+    }
+
+    fn init(&mut self, _ctx: &GovernorContext) -> VfDecision {
+        VfDecision::Cluster(0)
+    }
+
+    fn decide(&mut self, _obs: &EpochObservation<'_>) -> VfDecision {
+        VfDecision::NoChange
+    }
+}
+
+/// Pins a caller-chosen operating point (Linux `userspace`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserspaceGovernor {
+    index: usize,
+}
+
+impl UserspaceGovernor {
+    /// Creates a governor pinned to OPP `index` (clamped to the table at
+    /// [`init`](Governor::init)).
+    #[must_use]
+    pub fn pinned(index: usize) -> Self {
+        UserspaceGovernor { index }
+    }
+}
+
+impl Governor for UserspaceGovernor {
+    fn name(&self) -> &str {
+        "userspace"
+    }
+
+    fn init(&mut self, ctx: &GovernorContext) -> VfDecision {
+        self.index = self.index.min(ctx.opp_table().max_index());
+        VfDecision::Cluster(self.index)
+    }
+
+    fn decide(&mut self, _obs: &EpochObservation<'_>) -> VfDecision {
+        VfDecision::NoChange
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgov_sim::OppTable;
+    use qgov_units::SimTime;
+
+    fn ctx() -> GovernorContext {
+        GovernorContext::new(OppTable::odroid_xu3_a15(), 4, SimTime::from_ms(40))
+    }
+
+    #[test]
+    fn performance_picks_top() {
+        let mut g = PerformanceGovernor::new();
+        assert_eq!(g.init(&ctx()), VfDecision::Cluster(18));
+        assert_eq!(g.name(), "performance");
+    }
+
+    #[test]
+    fn powersave_picks_bottom() {
+        let mut g = PowersaveGovernor::new();
+        assert_eq!(g.init(&ctx()), VfDecision::Cluster(0));
+    }
+
+    #[test]
+    fn userspace_pins_and_clamps() {
+        let mut g = UserspaceGovernor::pinned(10);
+        assert_eq!(g.init(&ctx()), VfDecision::Cluster(10));
+        let mut g = UserspaceGovernor::pinned(99);
+        assert_eq!(g.init(&ctx()), VfDecision::Cluster(18), "clamped to table");
+    }
+}

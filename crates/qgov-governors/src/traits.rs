@@ -1,0 +1,144 @@
+//! The governor abstraction.
+
+use qgov_sim::{FrameResult, OppTable};
+use qgov_units::SimTime;
+
+/// Static information a governor receives before the run starts.
+#[derive(Debug, Clone)]
+pub struct GovernorContext {
+    opp_table: OppTable,
+    cores: usize,
+    period: SimTime,
+}
+
+impl GovernorContext {
+    /// Creates a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `period` is zero.
+    #[must_use]
+    pub fn new(opp_table: OppTable, cores: usize, period: SimTime) -> Self {
+        assert!(cores > 0, "a platform needs at least one core");
+        assert!(!period.is_zero(), "the frame period must be non-zero");
+        GovernorContext {
+            opp_table,
+            cores,
+            period,
+        }
+    }
+
+    /// The platform's operating-point table (the governor's action
+    /// space).
+    #[must_use]
+    pub fn opp_table(&self) -> &OppTable {
+        &self.opp_table
+    }
+
+    /// Number of cores under control.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The application's frame period (deadline `T_ref`).
+    #[must_use]
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+}
+
+/// Everything a governor observes at the end of a decision epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochObservation<'a> {
+    /// Result of the frame that just completed.
+    pub frame: &'a FrameResult,
+    /// Zero-based index of the completed frame.
+    pub epoch: u64,
+}
+
+/// A governor's actuation for the coming epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfDecision {
+    /// Keep the current operating point(s).
+    NoChange,
+    /// Retarget the whole cluster to an OPP index.
+    Cluster(usize),
+    /// Retarget each core's domain individually (index per core). On
+    /// shared-rail hardware the platform resolves this to the maximum —
+    /// the same arbitration `cpufreq` applies to per-CPU requests within
+    /// one policy.
+    PerCore(Vec<usize>),
+}
+
+impl VfDecision {
+    /// Resolves this decision to a single cluster OPP index for
+    /// shared-rail hardware (`PerCore` resolves to its maximum;
+    /// `NoChange` to `current`).
+    #[must_use]
+    pub fn resolve_cluster(&self, current: usize) -> usize {
+        match self {
+            VfDecision::NoChange => current,
+            VfDecision::Cluster(i) => *i,
+            VfDecision::PerCore(per) => per.iter().copied().max().unwrap_or(current),
+        }
+    }
+}
+
+/// A run-time power governor: observes completed decision epochs and
+/// selects V-F settings for upcoming ones.
+///
+/// The contract mirrors a kernel `cpufreq` governor attached to a
+/// frame-periodic application:
+///
+/// 1. [`init`](Governor::init) is called once before the first frame
+///    and returns the starting operating point;
+/// 2. after every completed frame, [`decide`](Governor::decide) is
+///    called with the frame's [`EpochObservation`] and returns the
+///    setting for the next frame;
+/// 3. [`processing_overhead`](Governor::processing_overhead) reports
+///    the governor's own per-epoch compute cost, which the harness
+///    charges to the platform (the processing component of the paper's
+///    `T_OVH`, Section III-D).
+pub trait Governor {
+    /// Short machine-readable name ("ondemand", "rtm", ...).
+    fn name(&self) -> &str;
+
+    /// Called once before the first frame; returns the initial setting.
+    fn init(&mut self, ctx: &GovernorContext) -> VfDecision;
+
+    /// Called after every completed frame; returns the setting for the
+    /// next frame.
+    fn decide(&mut self, obs: &EpochObservation<'_>) -> VfDecision;
+
+    /// The governor's own per-epoch processing cost (sensor sampling +
+    /// decision computation). Defaults to zero for trivial policies.
+    fn processing_overhead(&self) -> SimTime {
+        SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_cluster_handles_all_variants() {
+        assert_eq!(VfDecision::NoChange.resolve_cluster(7), 7);
+        assert_eq!(VfDecision::Cluster(3).resolve_cluster(7), 3);
+        assert_eq!(VfDecision::PerCore(vec![2, 9, 4, 1]).resolve_cluster(7), 9);
+        assert_eq!(VfDecision::PerCore(vec![]).resolve_cluster(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_context_panics() {
+        let _ = GovernorContext::new(OppTable::odroid_xu3_a15(), 0, SimTime::from_ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_context_panics() {
+        let _ = GovernorContext::new(OppTable::odroid_xu3_a15(), 4, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,31 @@
+//! Accounting and reporting for run-time management experiments.
+//!
+//! The paper's evaluation reports normalised energy and performance
+//! (Table I), workload misprediction statistics (Fig. 3), exploration
+//! counts (Table II) and learning overhead (Table III). This crate
+//! provides the measurement plumbing those tables and figures are built
+//! from:
+//!
+//! * [`RunReport`] — per-run energy/performance accounting with the
+//!   paper's normalisation conventions;
+//! * [`MispredictionStats`] — predicted-vs-actual workload error
+//!   analysis (whole-run and windowed, as Fig. 3 quotes);
+//! * [`OnlineStats`] — numerically-stable streaming moments;
+//! * [`ComparisonTable`] — aligned ASCII tables matching the paper's
+//!   layout, with CSV export;
+//! * [`Series`] — named (x, y) series with CSV export for figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod misprediction;
+mod report;
+mod series;
+mod stats;
+mod table;
+
+pub use misprediction::MispredictionStats;
+pub use report::{FrameStat, RunReport};
+pub use series::Series;
+pub use stats::OnlineStats;
+pub use table::ComparisonTable;

@@ -1,0 +1,157 @@
+//! Named data series for figure regeneration.
+
+/// A named (x, y) series, e.g. "predicted CC" over frame numbers.
+///
+/// Figures are regenerated as CSV files (one x column, one column per
+/// series) that any plotting tool can consume.
+///
+/// # Examples
+///
+/// ```
+/// use qgov_metrics::Series;
+///
+/// let a = Series::from_ys("actual", &[1.0, 2.0]);
+/// let b = Series::from_ys("predicted", &[1.0, 1.5]);
+/// let csv = Series::to_csv_aligned("frame", &[&a, &b]);
+/// assert!(csv.starts_with("frame,actual,predicted\n"));
+/// assert!(csv.contains("0,1,1"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from explicit (x, y) points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is not finite.
+    #[must_use]
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        assert!(
+            points.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+            "series points must be finite"
+        );
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Creates a series from y-values indexed 0, 1, 2, …
+    #[must_use]
+    pub fn from_ys(name: impl Into<String>, ys: &[f64]) -> Self {
+        Self::new(
+            name,
+            ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect(),
+        )
+    }
+
+    /// The series name (used as its CSV column header).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The data points.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the series has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Renders several series sharing an x-axis as one CSV document.
+    /// Rows are taken from the first series' x-values; shorter series
+    /// leave blank cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty.
+    #[must_use]
+    pub fn to_csv_aligned(x_name: &str, series: &[&Series]) -> String {
+        assert!(!series.is_empty(), "need at least one series");
+        let mut out = String::new();
+        out.push_str(x_name);
+        for s in series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
+        for i in 0..rows {
+            let x = series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.0))
+                .unwrap_or(i as f64);
+            out.push_str(&trim_float(x));
+            for s in series {
+                out.push(',');
+                if let Some(p) = s.points.get(i) {
+                    out.push_str(&trim_float(p.1));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float compactly (no trailing zeros, integers bare).
+fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.6}");
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ys_indexes_sequentially() {
+        let s = Series::from_ys("y", &[5.0, 6.0, 7.0]);
+        assert_eq!(s.points()[2], (2.0, 7.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn aligned_csv_handles_uneven_lengths() {
+        let a = Series::from_ys("a", &[1.0, 2.0, 3.0]);
+        let b = Series::from_ys("b", &[9.0]);
+        let csv = Series::to_csv_aligned("x", &[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "0,1,9");
+        assert_eq!(lines[2], "1,2,");
+        assert_eq!(lines[3], "2,3,");
+    }
+
+    #[test]
+    fn floats_are_trimmed() {
+        assert_eq!(trim_float(2.0), "2");
+        assert_eq!(trim_float(2.5), "2.5");
+        assert_eq!(trim_float(0.333333333), "0.333333");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_points_panic() {
+        let _ = Series::new("bad", vec![(0.0, f64::NAN)]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Discretisation of continuous measurements onto Q-table levels.
+//!
+//! "The size of the Q-table is limited by discretising the range of
+//! workloads (slack and cycle count) into N levels. Here we have used N
+//! as 5 in view of a pre-characterisation of the applications" (Section
+//! II-A). [`UniformDiscretizer`] splits a fixed range evenly;
+//! [`QuantileDiscretizer`] derives level boundaries from
+//! pre-characterisation samples so each level is visited equally often.
+
+use crate::RlError;
+
+/// Maps a continuous measurement to one of `levels()` discrete levels
+/// (`0 ..= levels() - 1`), clamping out-of-range inputs to the extreme
+/// levels.
+pub trait Discretizer {
+    /// Number of levels N.
+    fn levels(&self) -> usize;
+
+    /// The level of `value`. Out-of-range values clamp; NaN maps to
+    /// level 0 (callers should prevent NaN upstream).
+    fn level_of(&self, value: f64) -> usize;
+}
+
+/// Splits `[min, max]` into `levels` equal-width bins.
+///
+/// # Examples
+///
+/// ```
+/// use qgov_rl::{Discretizer, UniformDiscretizer};
+///
+/// let d = UniformDiscretizer::new(0.0, 10.0, 5).unwrap();
+/// assert_eq!(d.level_of(-3.0), 0);  // clamped
+/// assert_eq!(d.level_of(1.0), 0);
+/// assert_eq!(d.level_of(5.0), 2);
+/// assert_eq!(d.level_of(9.99), 4);
+/// assert_eq!(d.level_of(42.0), 4);  // clamped
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UniformDiscretizer {
+    min: f64,
+    max: f64,
+    levels: usize,
+}
+
+impl UniformDiscretizer {
+    /// Creates a uniform discretiser over `[min, max]` with `levels`
+    /// bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `levels` is zero, if the bounds are not
+    /// finite, or if `min >= max`.
+    pub fn new(min: f64, max: f64, levels: usize) -> Result<Self, RlError> {
+        RlError::check_nonempty("levels", levels)?;
+        if !min.is_finite() || !max.is_finite() {
+            return Err(RlError::NotFinite { name: "bounds" });
+        }
+        if min >= max {
+            return Err(RlError::NotPositive {
+                name: "range width",
+                value: (max - min).to_string(),
+            });
+        }
+        Ok(UniformDiscretizer { min, max, levels })
+    }
+
+    /// Lower bound of the range.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the range.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Midpoint value of a level (useful for reconstructing a
+    /// representative measurement from a level index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels()`.
+    #[must_use]
+    pub fn midpoint(&self, level: usize) -> f64 {
+        assert!(level < self.levels, "level {level} out of range");
+        let width = (self.max - self.min) / self.levels as f64;
+        self.min + width * (level as f64 + 0.5)
+    }
+}
+
+impl Discretizer for UniformDiscretizer {
+    fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn level_of(&self, value: f64) -> usize {
+        if value.is_nan() || value <= self.min {
+            return 0;
+        }
+        if value >= self.max {
+            return self.levels - 1;
+        }
+        let frac = (value - self.min) / (self.max - self.min);
+        ((frac * self.levels as f64) as usize).min(self.levels - 1)
+    }
+}
+
+/// Derives level boundaries from the empirical quantiles of
+/// pre-characterisation samples, mirroring the paper's "design space
+/// exploration" used to pick N.
+///
+/// With quantile boundaries each level is visited roughly equally often
+/// during characterisation, so no Q-table row starves.
+///
+/// # Examples
+///
+/// ```
+/// use qgov_rl::{Discretizer, QuantileDiscretizer};
+///
+/// let samples: Vec<f64> = (0..100).map(f64::from).collect();
+/// let d = QuantileDiscretizer::from_samples(&samples, 4).unwrap();
+/// assert_eq!(d.level_of(10.0), 0);
+/// assert_eq!(d.level_of(30.0), 1);
+/// assert_eq!(d.level_of(60.0), 2);
+/// assert_eq!(d.level_of(99.0), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QuantileDiscretizer {
+    /// Ascending inner boundaries; `boundaries.len() == levels - 1`.
+    boundaries: Vec<f64>,
+}
+
+impl QuantileDiscretizer {
+    /// Builds boundaries at the `k/levels` quantiles of `samples`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `levels` is zero, `samples` is empty, or any
+    /// sample is not finite.
+    pub fn from_samples(samples: &[f64], levels: usize) -> Result<Self, RlError> {
+        RlError::check_nonempty("levels", levels)?;
+        RlError::check_nonempty("samples", samples.len())?;
+        if samples.iter().any(|s| !s.is_finite()) {
+            return Err(RlError::NotFinite { name: "samples" });
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+        let boundaries = (1..levels)
+            .map(|k| {
+                let rank = k * sorted.len() / levels;
+                sorted[rank.min(sorted.len() - 1)]
+            })
+            .collect();
+        Ok(QuantileDiscretizer { boundaries })
+    }
+
+    /// The inner boundaries between levels (ascending,
+    /// `levels() - 1` entries).
+    #[must_use]
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+}
+
+impl Discretizer for QuantileDiscretizer {
+    fn levels(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    fn level_of(&self, value: f64) -> usize {
+        if value.is_nan() {
+            return 0;
+        }
+        // First boundary strictly greater than value determines the level.
+        self.boundaries.partition_point(|&b| b <= value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_rejects_bad_configs() {
+        assert!(UniformDiscretizer::new(0.0, 1.0, 0).is_err());
+        assert!(UniformDiscretizer::new(1.0, 1.0, 5).is_err());
+        assert!(UniformDiscretizer::new(2.0, 1.0, 5).is_err());
+        assert!(UniformDiscretizer::new(f64::NAN, 1.0, 5).is_err());
+    }
+
+    #[test]
+    fn uniform_levels_partition_range() {
+        let d = UniformDiscretizer::new(0.0, 100.0, 5).unwrap();
+        assert_eq!(d.level_of(0.0), 0);
+        assert_eq!(d.level_of(19.9), 0);
+        assert_eq!(d.level_of(20.0), 1);
+        assert_eq!(d.level_of(99.9), 4);
+        assert_eq!(d.level_of(100.0), 4);
+    }
+
+    #[test]
+    fn uniform_clamps_and_handles_nan() {
+        let d = UniformDiscretizer::new(-1.0, 1.0, 5).unwrap();
+        assert_eq!(d.level_of(-5.0), 0);
+        assert_eq!(d.level_of(5.0), 4);
+        assert_eq!(d.level_of(f64::NAN), 0);
+    }
+
+    #[test]
+    fn uniform_midpoints_round_trip() {
+        let d = UniformDiscretizer::new(0.0, 10.0, 5).unwrap();
+        for level in 0..5 {
+            assert_eq!(d.level_of(d.midpoint(level)), level);
+        }
+    }
+
+    #[test]
+    fn uniform_supports_negative_ranges_for_slack() {
+        // Slack ratio L ranges over [-1, 1]; level 2 of 5 straddles zero.
+        let d = UniformDiscretizer::new(-1.0, 1.0, 5).unwrap();
+        assert_eq!(d.level_of(0.0), 2);
+        assert_eq!(d.level_of(-0.9), 0);
+        assert_eq!(d.level_of(0.9), 4);
+    }
+
+    #[test]
+    fn quantile_balances_visits() {
+        // Heavily skewed samples: uniform binning would starve high bins.
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 / 10.0).powi(3)).collect();
+        let d = QuantileDiscretizer::from_samples(&samples, 5).unwrap();
+        let mut counts = [0usize; 5];
+        for &s in &samples {
+            counts[d.level_of(s)] += 1;
+        }
+        for &c in &counts {
+            // Each level should hold about 200 of 1000 samples.
+            assert!((150..=250).contains(&c), "unbalanced counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn quantile_rejects_bad_inputs() {
+        assert!(QuantileDiscretizer::from_samples(&[], 5).is_err());
+        assert!(QuantileDiscretizer::from_samples(&[1.0], 0).is_err());
+        assert!(QuantileDiscretizer::from_samples(&[f64::INFINITY], 2).is_err());
+    }
+
+    #[test]
+    fn quantile_single_level_maps_everything_to_zero() {
+        let d = QuantileDiscretizer::from_samples(&[1.0, 2.0, 3.0], 1).unwrap();
+        assert_eq!(d.levels(), 1);
+        assert_eq!(d.level_of(-10.0), 0);
+        assert_eq!(d.level_of(10.0), 0);
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let samples: Vec<f64> = (0..50).map(|i| f64::from(i) * 2.0).collect();
+        let d = QuantileDiscretizer::from_samples(&samples, 5).unwrap();
+        let mut prev = 0;
+        for i in 0..100 {
+            let l = d.level_of(f64::from(i));
+            assert!(l >= prev, "level decreased at {i}");
+            prev = l;
+        }
+    }
+}

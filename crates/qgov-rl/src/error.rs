@@ -1,0 +1,129 @@
+//! Error type for invalid learning configurations.
+
+use core::fmt;
+
+/// Error returned when a learning component is constructed with invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RlError {
+    /// A probability-like parameter was outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending textual value.
+        value: String,
+    },
+    /// A parameter had to be strictly positive but was not.
+    NotPositive {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending textual value.
+        value: String,
+    },
+    /// A table or space dimension was zero.
+    EmptyDimension {
+        /// Which dimension was empty ("states", "actions", "levels", ...).
+        name: &'static str,
+    },
+    /// A parameter was NaN or infinite.
+    NotFinite {
+        /// Which parameter was rejected.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for RlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "parameter `{name}` must lie in [0, 1], got {value}")
+            }
+            RlError::NotPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            RlError::EmptyDimension { name } => {
+                write!(f, "dimension `{name}` must be non-zero")
+            }
+            RlError::NotFinite { name } => {
+                write!(f, "parameter `{name}` must be finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RlError {}
+
+impl RlError {
+    /// Validates that `v` is a probability in `[0, 1]`.
+    pub fn check_probability(name: &'static str, v: f64) -> Result<(), RlError> {
+        if !v.is_finite() {
+            return Err(RlError::NotFinite { name });
+        }
+        if !(0.0..=1.0).contains(&v) {
+            return Err(RlError::ProbabilityOutOfRange {
+                name,
+                value: v.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates that `v` is finite and strictly positive.
+    pub fn check_positive(name: &'static str, v: f64) -> Result<(), RlError> {
+        if !v.is_finite() {
+            return Err(RlError::NotFinite { name });
+        }
+        if v <= 0.0 {
+            return Err(RlError::NotPositive {
+                name,
+                value: v.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates that a dimension is non-zero.
+    pub fn check_nonempty(name: &'static str, n: usize) -> Result<(), RlError> {
+        if n == 0 {
+            return Err(RlError::EmptyDimension { name });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_bounds() {
+        assert!(RlError::check_probability("p", 0.0).is_ok());
+        assert!(RlError::check_probability("p", 1.0).is_ok());
+        assert!(RlError::check_probability("p", 1.01).is_err());
+        assert!(RlError::check_probability("p", -0.01).is_err());
+        assert!(RlError::check_probability("p", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn positivity() {
+        assert!(RlError::check_positive("a", 0.1).is_ok());
+        assert!(RlError::check_positive("a", 0.0).is_err());
+        assert!(RlError::check_positive("a", -1.0).is_err());
+        assert!(RlError::check_positive("a", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = RlError::check_probability("alpha", 2.0).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("alpha"));
+        assert!(msg.contains('2'));
+    }
+
+    #[test]
+    fn nonempty_dimension() {
+        assert!(RlError::check_nonempty("states", 1).is_ok());
+        assert!(RlError::check_nonempty("states", 0).is_err());
+    }
+}

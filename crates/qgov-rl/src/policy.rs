@@ -1,0 +1,488 @@
+//! Exploration policies — how the agent picks actions before it has
+//! learnt their values.
+//!
+//! The paper's key exploration idea (Section II-B) is to replace the
+//! "commonly used random selection policy based on a Uniform Probability
+//! Distribution (UPD)" with a discrete **Exponential Probability
+//! Distribution** (EPD, Eq. 2) that encodes the intuitive relationship
+//! between slack and frequency:
+//!
+//! ```text
+//! pᵢ(a) = λ · exp(−β · F_a · Lᵢ),   a ∈ A{V, F}
+//! ```
+//!
+//! With positive slack (over-performance) high frequencies are damped —
+//! the agent preferentially explores energy-frugal settings; with
+//! negative slack (deadline misses) high frequencies are boosted. "For
+//! values of L close to zero, the Exponential Probabilities guided by λ
+//! are almost uniform." This focus is what cuts the number of
+//! explorations roughly in half in Table II.
+
+use crate::RlError;
+use rand::RngCore;
+
+/// Everything a policy may consult when selecting an action.
+#[derive(Debug, Clone, Copy)]
+pub struct ActionContext<'a> {
+    /// Q-values of the current state's row (one per action).
+    pub q_row: &'a [f64],
+    /// Operating frequency of each action in GHz — the `F` term of Eq. 2.
+    pub action_freqs_ghz: &'a [f64],
+    /// Current average slack ratio `L` (Eq. 5): positive when the
+    /// application runs ahead of its deadline, negative when behind.
+    pub slack: f64,
+}
+
+impl<'a> ActionContext<'a> {
+    /// Creates a context, validating that the two per-action slices
+    /// agree in length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or of different lengths, or if
+    /// `slack` is not finite.
+    #[must_use]
+    pub fn new(q_row: &'a [f64], action_freqs_ghz: &'a [f64], slack: f64) -> Self {
+        assert!(!q_row.is_empty(), "action space must be non-empty");
+        assert_eq!(
+            q_row.len(),
+            action_freqs_ghz.len(),
+            "q_row and action_freqs_ghz must have one entry per action"
+        );
+        assert!(slack.is_finite(), "slack must be finite");
+        ActionContext {
+            q_row,
+            action_freqs_ghz,
+            slack,
+        }
+    }
+
+    /// Number of actions.
+    #[must_use]
+    pub fn actions(&self) -> usize {
+        self.q_row.len()
+    }
+}
+
+/// A stochastic action-selection policy used during the exploration
+/// phase.
+///
+/// Implementations must be deterministic functions of `(ctx, rng)` so
+/// that seeded simulations reproduce exactly.
+pub trait ExplorationPolicy {
+    /// Selects an action index in `0..ctx.actions()`.
+    fn select(&self, ctx: &ActionContext<'_>, rng: &mut dyn RngCore) -> usize;
+
+    /// Short human-readable name for reports ("epd", "upd", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Draws a uniform float in `[0, 1)` from any RNG (object-safe helper).
+#[must_use]
+pub fn uniform_f64(rng: &mut dyn RngCore) -> f64 {
+    // 53 random mantissa bits, the standard conversion.
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Samples an index proportionally to non-negative `weights`.
+///
+/// Degenerate inputs (all-zero or non-finite totals) fall back to a
+/// uniform draw so exploration never wedges.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or any weight is negative or NaN.
+#[must_use]
+pub fn sample_weighted(weights: &[f64], rng: &mut dyn RngCore) -> usize {
+    assert!(!weights.is_empty(), "cannot sample from zero weights");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return (rng.next_u64() % weights.len() as u64) as usize;
+    }
+    let mut target = uniform_f64(rng) * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1 // float round-off: last index
+}
+
+/// The paper's slack-aware Exponential Probability Distribution (Eq. 2).
+///
+/// # Examples
+///
+/// ```
+/// use qgov_rl::{ActionContext, EpdPolicy, ExplorationPolicy};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let policy = EpdPolicy::paper();
+/// let q = [0.0; 3];
+/// let freqs = [0.2, 1.0, 2.0];
+/// let mut rng = StdRng::seed_from_u64(1);
+///
+/// // Large positive slack: low-frequency actions dominate.
+/// let ctx = ActionContext::new(&q, &freqs, 0.8);
+/// let picks: Vec<usize> = (0..100).map(|_| policy.select(&ctx, &mut rng)).collect();
+/// let low = picks.iter().filter(|&&a| a == 0).count();
+/// let high = picks.iter().filter(|&&a| a == 2).count();
+/// assert!(low > high);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EpdPolicy {
+    lambda: f64,
+    beta: f64,
+}
+
+impl EpdPolicy {
+    /// Creates an EPD policy.
+    ///
+    /// `lambda` is the uniform base probability of Eq. 2 (it scales all
+    /// weights equally and cancels in normalisation, but is kept for
+    /// fidelity and reporting); `beta` controls how sharply slack biases
+    /// the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and positive.
+    pub fn new(lambda: f64, beta: f64) -> Result<Self, RlError> {
+        RlError::check_positive("lambda", lambda)?;
+        RlError::check_positive("beta", beta)?;
+        Ok(EpdPolicy { lambda, beta })
+    }
+
+    /// EPD with the constants used throughout our reproduction
+    /// (λ = 1/19 matching the XU3's 19-action space, β = 2 per GHz of
+    /// frequency per unit slack).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(1.0 / 19.0, 2.0).expect("paper constants are valid")
+    }
+
+    /// The sharpness parameter β.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The uniform base probability λ.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The unnormalised Eq. 2 weight of each action for slack `l`.
+    #[must_use]
+    pub fn weights(&self, action_freqs_ghz: &[f64], l: f64) -> Vec<f64> {
+        action_freqs_ghz
+            .iter()
+            .map(|&f| self.lambda * (-self.beta * f * l).exp())
+            .collect()
+    }
+}
+
+impl ExplorationPolicy for EpdPolicy {
+    fn select(&self, ctx: &ActionContext<'_>, rng: &mut dyn RngCore) -> usize {
+        let weights = self.weights(ctx.action_freqs_ghz, ctx.slack);
+        // Guard against exp() overflow (inf) and underflow (all zero) for
+        // extreme |slack|: fall back to the deterministic limit behaviour
+        // and pick the extreme action the bias points at.
+        let total: f64 = weights.iter().sum();
+        if weights.iter().any(|w| !w.is_finite()) || total <= 0.0 {
+            return if ctx.slack > 0.0 {
+                lowest_freq_action(ctx.action_freqs_ghz)
+            } else {
+                highest_freq_action(ctx.action_freqs_ghz)
+            };
+        }
+        sample_weighted(&weights, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "epd"
+    }
+}
+
+fn lowest_freq_action(freqs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &f) in freqs.iter().enumerate() {
+        if f < freqs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn highest_freq_action(freqs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &f) in freqs.iter().enumerate() {
+        if f > freqs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The Uniform Probability Distribution baseline of prior work
+/// (e.g. Shen et al., TODAES 2013 — reference [21] of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UniformPolicy;
+
+impl UniformPolicy {
+    /// Creates a uniform policy.
+    #[must_use]
+    pub fn new() -> Self {
+        UniformPolicy
+    }
+}
+
+impl ExplorationPolicy for UniformPolicy {
+    fn select(&self, ctx: &ActionContext<'_>, rng: &mut dyn RngCore) -> usize {
+        (rng.next_u64() % ctx.actions() as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "upd"
+    }
+}
+
+/// Boltzmann/softmax exploration over Q-values: `p(a) ∝ exp(Q(s,a)/τ)`.
+///
+/// Not used by the paper; provided as a standard alternative for
+/// ablation studies.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SoftmaxPolicy {
+    temperature: f64,
+}
+
+impl SoftmaxPolicy {
+    /// Creates a softmax policy with temperature `τ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `temperature` is finite and positive.
+    pub fn new(temperature: f64) -> Result<Self, RlError> {
+        RlError::check_positive("temperature", temperature)?;
+        Ok(SoftmaxPolicy { temperature })
+    }
+
+    /// The temperature τ.
+    #[must_use]
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+}
+
+impl ExplorationPolicy for SoftmaxPolicy {
+    fn select(&self, ctx: &ActionContext<'_>, rng: &mut dyn RngCore) -> usize {
+        // Subtract the max for numerical stability.
+        let max_q = ctx.q_row.iter().copied().fold(f64::MIN, f64::max);
+        let weights: Vec<f64> = ctx
+            .q_row
+            .iter()
+            .map(|&q| ((q - max_q) / self.temperature).exp())
+            .collect();
+        sample_weighted(&weights, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "softmax"
+    }
+}
+
+/// Pure exploitation: always the argmax action (ties towards the lowest
+/// index, i.e. the lowest frequency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GreedyPolicy;
+
+impl GreedyPolicy {
+    /// Creates a greedy policy.
+    #[must_use]
+    pub fn new() -> Self {
+        GreedyPolicy
+    }
+}
+
+impl ExplorationPolicy for GreedyPolicy {
+    fn select(&self, ctx: &ActionContext<'_>, _rng: &mut dyn RngCore) -> usize {
+        let mut best = 0;
+        let mut best_v = ctx.q_row[0];
+        for (a, &v) in ctx.q_row.iter().enumerate().skip(1) {
+            if v > best_v {
+                best = a;
+                best_v = v;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(
+        policy: &dyn ExplorationPolicy,
+        ctx: &ActionContext<'_>,
+        n: usize,
+        seed: u64,
+    ) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; ctx.actions()];
+        for _ in 0..n {
+            counts[policy.select(ctx, &mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_spreads_evenly() {
+        let q = [0.0; 4];
+        let f = [0.5, 1.0, 1.5, 2.0];
+        let ctx = ActionContext::new(&q, &f, 0.0);
+        let counts = histogram(&UniformPolicy::new(), &ctx, 4000, 11);
+        for &c in &counts {
+            assert!((800..=1200).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn epd_is_nearly_uniform_at_zero_slack() {
+        let q = [0.0; 4];
+        let f = [0.5, 1.0, 1.5, 2.0];
+        let ctx = ActionContext::new(&q, &f, 0.0);
+        let counts = histogram(&EpdPolicy::paper(), &ctx, 4000, 13);
+        for &c in &counts {
+            assert!((800..=1200).contains(&c), "EPD at L=0 skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn epd_biases_low_freq_when_over_performing() {
+        let q = [0.0; 3];
+        let f = [0.2, 1.0, 2.0];
+        let ctx = ActionContext::new(&q, &f, 0.5); // positive slack
+        let counts = histogram(&EpdPolicy::paper(), &ctx, 3000, 17);
+        assert!(
+            counts[0] > 2 * counts[2],
+            "expected strong low-frequency bias, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn epd_biases_high_freq_when_missing_deadlines() {
+        let q = [0.0; 3];
+        let f = [0.2, 1.0, 2.0];
+        let ctx = ActionContext::new(&q, &f, -0.5); // negative slack
+        let counts = histogram(&EpdPolicy::paper(), &ctx, 3000, 19);
+        assert!(
+            counts[2] > 2 * counts[0],
+            "expected strong high-frequency bias, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn epd_extreme_slack_degrades_gracefully() {
+        let q = [0.0; 3];
+        let f = [0.2, 1.0, 2.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy = EpdPolicy::new(1.0, 500.0).unwrap();
+        // Huge beta*|L| drives exp() to inf/0; must still return a legal
+        // action deterministically.
+        let over = ActionContext::new(&q, &f, 1e6);
+        assert_eq!(policy.select(&over, &mut rng), 0);
+        let under = ActionContext::new(&q, &f, -1e6);
+        assert_eq!(policy.select(&under, &mut rng), 2);
+    }
+
+    #[test]
+    fn epd_weights_match_equation_two() {
+        let p = EpdPolicy::new(0.1, 2.0).unwrap();
+        let w = p.weights(&[1.0, 2.0], 0.25);
+        assert!((w[0] - 0.1 * (-0.5f64).exp()).abs() < 1e-12);
+        assert!((w[1] - 0.1 * (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_prefers_higher_q() {
+        let q = [0.0, 2.0, 0.0];
+        let f = [0.5, 1.0, 1.5];
+        let ctx = ActionContext::new(&q, &f, 0.0);
+        let counts = histogram(&SoftmaxPolicy::new(0.5).unwrap(), &ctx, 3000, 23);
+        assert!(counts[1] > counts[0] + counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn greedy_ignores_rng_and_ties_low() {
+        let q = [1.0, 5.0, 5.0];
+        let f = [0.5, 1.0, 1.5];
+        let ctx = ActionContext::new(&q, &f, 0.3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(GreedyPolicy::new().select(&ctx, &mut rng), 1);
+    }
+
+    #[test]
+    fn sample_weighted_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[sample_weighted(&[0.0, 1.0, 3.0], &mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[2] > 2 * counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn sample_weighted_all_zero_falls_back_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[sample_weighted(&[0.0, 0.0, 0.0], &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform fallback missing indices");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_action_space_panics() {
+        let _ = ActionContext::new(&[], &[], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per action")]
+    fn mismatched_lengths_panic() {
+        let _ = ActionContext::new(&[0.0], &[0.5, 1.0], 0.0);
+    }
+
+    #[test]
+    fn policies_report_names() {
+        assert_eq!(EpdPolicy::paper().name(), "epd");
+        assert_eq!(UniformPolicy::new().name(), "upd");
+        assert_eq!(SoftmaxPolicy::new(1.0).unwrap().name(), "softmax");
+        assert_eq!(GreedyPolicy::new().name(), "greedy");
+    }
+
+    #[test]
+    fn uniform_f64_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let v = uniform_f64(&mut rng);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Workload predictors.
+//!
+//! "Predicting the state of the system is a key step in RL" (Section
+//! II-A). The RTM proactively chooses the V-F setting for the *next*
+//! decision epoch, so it must forecast the coming workload from the
+//! history of observed workloads. The paper uses an Exponential Weighted
+//! Moving Average (EWMA, Eq. 1); the alternatives here serve as ablation
+//! baselines representing the "adaptive filters" the paper cites as
+//! falling short.
+
+/// A one-step-ahead scalar workload predictor.
+///
+/// The protocol is: call [`predict`](Predictor::predict) to obtain the
+/// forecast for the coming epoch, then, once the epoch has elapsed, feed
+/// the measured value back via [`observe`](Predictor::observe).
+pub trait Predictor {
+    /// Forecast for the next epoch given everything observed so far.
+    fn predict(&self) -> f64;
+
+    /// Feeds the actual measurement of the epoch that just completed.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `actual` is not finite.
+    fn observe(&mut self, actual: f64);
+
+    /// Forgets all history.
+    fn reset(&mut self);
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Exponential Weighted Moving Average predictor — Eq. 1 of the paper:
+///
+/// ```text
+/// CCᵢ₊₁ = γ·actualCCᵢ + (1 − γ)·predCCᵢ
+/// ```
+///
+/// where γ is the smoothing factor (the paper experimentally determines
+/// γ = 0.6 for its MPEG4 analysis, Section III-B).
+///
+/// # Examples
+///
+/// ```
+/// use qgov_rl::{EwmaPredictor, Predictor};
+///
+/// let mut p = EwmaPredictor::new(0.6).unwrap();
+/// p.observe(100.0);
+/// assert_eq!(p.predict(), 100.0); // first observation seeds the state
+/// p.observe(200.0);
+/// assert_eq!(p.predict(), 0.6 * 200.0 + 0.4 * 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EwmaPredictor {
+    smoothing: f64,
+    prediction: Option<f64>,
+}
+
+impl EwmaPredictor {
+    /// Creates an EWMA predictor with the given smoothing factor γ.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < smoothing <= 1`.
+    pub fn new(smoothing: f64) -> Result<Self, crate::RlError> {
+        crate::RlError::check_probability("smoothing", smoothing)?;
+        crate::RlError::check_positive("smoothing", smoothing)?;
+        Ok(EwmaPredictor {
+            smoothing,
+            prediction: None,
+        })
+    }
+
+    /// The paper's experimentally-determined smoothing factor, γ = 0.6.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(0.6).expect("0.6 is a valid smoothing factor")
+    }
+
+    /// The smoothing factor γ.
+    #[must_use]
+    pub fn smoothing(&self) -> f64 {
+        self.smoothing
+    }
+}
+
+impl Predictor for EwmaPredictor {
+    fn predict(&self) -> f64 {
+        self.prediction.unwrap_or(0.0)
+    }
+
+    fn observe(&mut self, actual: f64) {
+        assert!(actual.is_finite(), "observation must be finite");
+        self.prediction = Some(match self.prediction {
+            // Seed with the first observation rather than decaying from 0,
+            // otherwise early predictions are systematically low.
+            None => actual,
+            Some(prev) => self.smoothing * actual + (1.0 - self.smoothing) * prev,
+        });
+    }
+
+    fn reset(&mut self) {
+        self.prediction = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// Naive last-value predictor: tomorrow equals today.
+///
+/// The simplest reactive baseline; equivalent to EWMA with γ = 1.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LastValuePredictor {
+    last: Option<f64>,
+}
+
+impl LastValuePredictor {
+    /// Creates a last-value predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for LastValuePredictor {
+    fn predict(&self) -> f64 {
+        self.last.unwrap_or(0.0)
+    }
+
+    fn observe(&mut self, actual: f64) {
+        assert!(actual.is_finite(), "observation must be finite");
+        self.last = Some(actual);
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+}
+
+/// Simple moving average over a sliding window.
+///
+/// Represents the "adaptive filters" class the paper criticises for the
+/// lag "inherent in the filtering technique" — the window must fill
+/// before the prediction tracks a workload change.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MovingAveragePredictor {
+    window: usize,
+    history: Vec<f64>,
+    cursor: usize,
+    filled: bool,
+}
+
+impl MovingAveragePredictor {
+    /// Creates a moving-average predictor over the last `window`
+    /// observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `window` is zero.
+    pub fn new(window: usize) -> Result<Self, crate::RlError> {
+        crate::RlError::check_nonempty("window", window)?;
+        Ok(MovingAveragePredictor {
+            window,
+            history: Vec::with_capacity(window),
+            cursor: 0,
+            filled: false,
+        })
+    }
+
+    fn len(&self) -> usize {
+        if self.filled {
+            self.window
+        } else {
+            self.history.len()
+        }
+    }
+}
+
+impl Predictor for MovingAveragePredictor {
+    fn predict(&self) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.history.iter().sum::<f64>() / n as f64
+        }
+    }
+
+    fn observe(&mut self, actual: f64) {
+        assert!(actual.is_finite(), "observation must be finite");
+        if self.filled {
+            self.history[self.cursor] = actual;
+            self.cursor = (self.cursor + 1) % self.window;
+        } else {
+            self.history.push(actual);
+            if self.history.len() == self.window {
+                self.filled = true;
+                self.cursor = 0;
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.cursor = 0;
+        self.filled = false;
+    }
+
+    fn name(&self) -> &'static str {
+        "moving-average"
+    }
+}
+
+/// Weighted moving average with linearly decaying weights (most recent
+/// observation weighs most).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WmaPredictor {
+    window: usize,
+    history: Vec<f64>, // most recent last
+}
+
+impl WmaPredictor {
+    /// Creates a weighted-moving-average predictor over `window`
+    /// observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `window` is zero.
+    pub fn new(window: usize) -> Result<Self, crate::RlError> {
+        crate::RlError::check_nonempty("window", window)?;
+        Ok(WmaPredictor {
+            window,
+            history: Vec::with_capacity(window),
+        })
+    }
+}
+
+impl Predictor for WmaPredictor {
+    fn predict(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &v) in self.history.iter().enumerate() {
+            let w = (i + 1) as f64; // oldest gets weight 1, newest gets weight n
+            num += w * v;
+            den += w;
+        }
+        num / den
+    }
+
+    fn observe(&mut self, actual: f64) {
+        assert!(actual.is_finite(), "observation must be finite");
+        if self.history.len() == self.window {
+            self.history.remove(0);
+        }
+        self.history.push(actual);
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "wma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_matches_equation_one() {
+        let mut p = EwmaPredictor::new(0.6).unwrap();
+        p.observe(100.0);
+        p.observe(50.0);
+        // pred = 0.6*50 + 0.4*100 = 70
+        assert!((p.predict() - 70.0).abs() < 1e-12);
+        p.observe(70.0);
+        // pred = 0.6*70 + 0.4*70 = 70
+        assert!((p.predict() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_rejects_bad_smoothing() {
+        assert!(EwmaPredictor::new(0.0).is_err());
+        assert!(EwmaPredictor::new(1.1).is_err());
+        assert!(EwmaPredictor::new(-0.2).is_err());
+        assert!(EwmaPredictor::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn ewma_paper_preset_uses_0_6() {
+        assert_eq!(EwmaPredictor::paper().smoothing(), 0.6);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_signal() {
+        let mut p = EwmaPredictor::new(0.6).unwrap();
+        for _ in 0..50 {
+            p.observe(42.0);
+        }
+        assert!((p.predict() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_reset_forgets() {
+        let mut p = EwmaPredictor::paper();
+        p.observe(10.0);
+        p.reset();
+        assert_eq!(p.predict(), 0.0);
+    }
+
+    #[test]
+    fn last_value_tracks_immediately() {
+        let mut p = LastValuePredictor::new();
+        assert_eq!(p.predict(), 0.0);
+        p.observe(3.0);
+        p.observe(9.0);
+        assert_eq!(p.predict(), 9.0);
+    }
+
+    #[test]
+    fn moving_average_lags_a_step_change() {
+        let mut ma = MovingAveragePredictor::new(4).unwrap();
+        for _ in 0..4 {
+            ma.observe(0.0);
+        }
+        ma.observe(100.0);
+        // Only one of four window slots sees the new level: lag.
+        assert_eq!(ma.predict(), 25.0);
+        let mut ewma = EwmaPredictor::new(0.6).unwrap();
+        for _ in 0..4 {
+            ewma.observe(0.0);
+        }
+        ewma.observe(100.0);
+        // EWMA with gamma=0.6 adapts much faster.
+        assert!(ewma.predict() > ma.predict());
+    }
+
+    #[test]
+    fn moving_average_window_wraps() {
+        let mut ma = MovingAveragePredictor::new(2).unwrap();
+        ma.observe(1.0);
+        ma.observe(3.0);
+        ma.observe(5.0); // window now holds {3, 5}
+        assert_eq!(ma.predict(), 4.0);
+    }
+
+    #[test]
+    fn wma_weights_recent_more() {
+        let mut p = WmaPredictor::new(2).unwrap();
+        p.observe(0.0);
+        p.observe(30.0);
+        // weights: 1*0 + 2*30 over 3 = 20
+        assert!((p.predict() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictors_report_names() {
+        assert_eq!(EwmaPredictor::paper().name(), "ewma");
+        assert_eq!(LastValuePredictor::new().name(), "last-value");
+        assert_eq!(MovingAveragePredictor::new(3).unwrap().name(), "moving-average");
+        assert_eq!(WmaPredictor::new(3).unwrap().name(), "wma");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_observation_panics() {
+        let mut p = EwmaPredictor::paper();
+        p.observe(f64::NAN);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests on the learning primitives: invariants that must
+//! hold for arbitrary parameters and input streams.
+
+use proptest::prelude::*;
+use qgov_rl::{
+    sample_weighted, ActionContext, Discretizer, EpdPolicy, EwmaPredictor, ExplorationPolicy,
+    Predictor, QTable, QuantileDiscretizer, SlackReward, RewardFn, UniformDiscretizer,
+    UniformPolicy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// EWMA predictions always stay inside the convex hull of the
+    /// observations (it is a convex combination).
+    #[test]
+    fn ewma_stays_in_observation_hull(
+        gamma in 0.01f64..=1.0,
+        obs in proptest::collection::vec(-1e9f64..1e9, 1..100),
+    ) {
+        let mut p = EwmaPredictor::new(gamma).unwrap();
+        let lo = obs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = obs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for &o in &obs {
+            p.observe(o);
+            let pred = p.predict();
+            prop_assert!(pred >= lo - 1e-6 && pred <= hi + 1e-6,
+                "prediction {pred} escaped hull [{lo}, {hi}]");
+        }
+    }
+
+    /// EWMA error on a constant signal decays geometrically.
+    #[test]
+    fn ewma_error_decays_on_constant_signal(
+        gamma in 0.05f64..=0.95,
+        start in -1e6f64..1e6,
+        target in -1e6f64..1e6,
+    ) {
+        let mut p = EwmaPredictor::new(gamma).unwrap();
+        p.observe(start);
+        let mut prev_err = (p.predict() - target).abs();
+        for _ in 0..50 {
+            p.observe(target);
+            let err = (p.predict() - target).abs();
+            prop_assert!(err <= prev_err + 1e-9, "error must not grow: {err} > {prev_err}");
+            prev_err = err;
+        }
+    }
+
+    /// Q-values stay bounded by reward_max / (1 - discount) for bounded
+    /// rewards (contraction property of the Bellman operator).
+    #[test]
+    fn q_values_stay_bounded(
+        alpha in 0.01f64..=1.0,
+        discount in 0.0f64..=0.9,
+        steps in proptest::collection::vec(
+            (0usize..4, 0usize..3, -1.0f64..=1.0, 0usize..4), 1..300),
+    ) {
+        let mut q = QTable::new(4, 3).unwrap();
+        let bound = 1.0 / (1.0 - discount) + 1e-9;
+        for (s, a, r, ns) in steps {
+            q.update(s, a, r, ns, alpha, discount);
+            for state in 0..4 {
+                for action in 0..3 {
+                    let v = q.value(state, action);
+                    prop_assert!(v.abs() <= bound,
+                        "|Q| = {v} exceeded bound {bound}");
+                }
+            }
+        }
+    }
+
+    /// The greedy action always attains the row maximum.
+    #[test]
+    fn greedy_attains_max(
+        steps in proptest::collection::vec(
+            (0usize..3, 0usize..4, -5.0f64..5.0, 0usize..3), 1..200),
+    ) {
+        let mut q = QTable::new(3, 4).unwrap();
+        for (s, a, r, ns) in steps {
+            q.update(s, a, r, ns, 0.5, 0.5);
+        }
+        for s in 0..3 {
+            let g = q.greedy_action(s);
+            prop_assert_eq!(q.value(s, g), q.max_value(s));
+        }
+    }
+
+    /// Uniform discretiser: levels are monotone in the input and cover
+    /// the full range.
+    #[test]
+    fn uniform_discretizer_monotone(
+        min in -1e6f64..0.0,
+        width in 1.0f64..1e6,
+        levels in 1usize..20,
+        probes in proptest::collection::vec(-2e6f64..2e6, 2..50),
+    ) {
+        let d = UniformDiscretizer::new(min, min + width, levels).unwrap();
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0usize;
+        for (i, &v) in sorted.iter().enumerate() {
+            let l = d.level_of(v);
+            prop_assert!(l < levels);
+            if i > 0 {
+                prop_assert!(l >= prev, "levels must be monotone");
+            }
+            prev = l;
+        }
+    }
+
+    /// Quantile discretiser levels are monotone and within range for any
+    /// sample set.
+    #[test]
+    fn quantile_discretizer_monotone(
+        samples in proptest::collection::vec(-1e6f64..1e6, 2..200),
+        levels in 1usize..10,
+        probes in proptest::collection::vec(-2e6f64..2e6, 2..50),
+    ) {
+        let d = QuantileDiscretizer::from_samples(&samples, levels).unwrap();
+        prop_assert_eq!(d.levels(), levels);
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0usize;
+        for (i, &v) in sorted.iter().enumerate() {
+            let l = d.level_of(v);
+            prop_assert!(l < levels);
+            if i > 0 {
+                prop_assert!(l >= prev);
+            }
+            prev = l;
+        }
+    }
+
+    /// sample_weighted never returns an index with zero weight (when a
+    /// positive-weight index exists).
+    #[test]
+    fn zero_weight_never_sampled(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let i = sample_weighted(&weights, &mut rng);
+            prop_assert!(weights[i] > 0.0, "picked zero-weight index {i}");
+        }
+    }
+
+    /// Policies always return a legal action for any finite slack.
+    #[test]
+    fn policies_return_legal_actions(
+        slack in -1e3f64..1e3,
+        n in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        let q = vec![0.0; n];
+        let freqs: Vec<f64> = (1..=n).map(|i| i as f64 * 0.1).collect();
+        let ctx = ActionContext::new(&q, &freqs, slack);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let epd = EpdPolicy::paper();
+        let upd = UniformPolicy::new();
+        for _ in 0..20 {
+            prop_assert!(epd.select(&ctx, &mut rng) < n);
+            prop_assert!(upd.select(&ctx, &mut rng) < n);
+        }
+    }
+
+    /// The slack reward is maximised at zero slack for any valid
+    /// parameterisation.
+    #[test]
+    fn slack_reward_peaks_at_zero(
+        a in 0.1f64..100.0,
+        b in 0.1f64..100.0,
+        w in 0.05f64..=1.0,
+        l in -1.0f64..1.0,
+    ) {
+        let r = SlackReward::new(a, b, w).unwrap();
+        // Compare steady states (prev == current) so the delta term is zero.
+        prop_assert!(r.reward(l, l) <= r.reward(0.0, 0.0) + 1e-12);
+    }
+}

@@ -1,0 +1,667 @@
+//! The frame-synchronous platform: cores + DVFS + power + sensors +
+//! thermal, driven one decision epoch at a time.
+
+use crate::{
+    CmosPowerModel, DvfsConfig, OppTable, Pmu, PowerModel, PowerSensor, SensorConfig, SimError,
+    ThermalConfig, ThermalModel, VfController, VfDomain,
+};
+use qgov_units::{Cycles, Energy, Freq, Power, SimTime, Temp};
+
+/// One frame's worth of work for one core.
+///
+/// Execution time at frequency `f` follows the standard two-component
+/// model `t = cpu_cycles / f + mem_time`: the memory-bound component
+/// does not scale with core frequency, which is what makes DVFS a real
+/// energy/performance trade-off (running memory-bound phases fast wastes
+/// energy without finishing sooner).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkSlice {
+    /// Frequency-scalable CPU-bound cycles.
+    pub cpu_cycles: Cycles,
+    /// Frequency-invariant memory/IO stall time.
+    pub mem_time: SimTime,
+}
+
+impl WorkSlice {
+    /// An idle slice (no work).
+    pub const IDLE: WorkSlice = WorkSlice {
+        cpu_cycles: Cycles::ZERO,
+        mem_time: SimTime::ZERO,
+    };
+
+    /// Creates a slice with both CPU and memory components.
+    #[must_use]
+    pub const fn new(cpu_cycles: Cycles, mem_time: SimTime) -> Self {
+        WorkSlice {
+            cpu_cycles,
+            mem_time,
+        }
+    }
+
+    /// A purely CPU-bound slice.
+    #[must_use]
+    pub const fn cpu_only(cpu_cycles: Cycles) -> Self {
+        WorkSlice {
+            cpu_cycles,
+            mem_time: SimTime::ZERO,
+        }
+    }
+
+    /// `true` if the slice carries no work at all.
+    #[must_use]
+    pub const fn is_idle(&self) -> bool {
+        self.cpu_cycles.is_zero() && self.mem_time.is_zero()
+    }
+
+    /// Wall-clock time this slice takes at core frequency `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice has CPU cycles and `f` is zero.
+    #[must_use]
+    pub fn time_at(&self, f: Freq) -> SimTime {
+        self.cpu_cycles.time_at(f) + self.mem_time
+    }
+}
+
+/// Full description of a platform to simulate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformConfig {
+    /// Number of cores in the cluster.
+    pub cores: usize,
+    /// The V-F operating-point table.
+    pub opp_table: OppTable,
+    /// Shared-rail or per-core V-F control.
+    pub vf_domain: VfDomain,
+    /// The power model.
+    pub power_model: CmosPowerModel,
+    /// V-F transition costs.
+    pub dvfs: DvfsConfig,
+    /// Power-sensor characteristics.
+    pub sensor: SensorConfig,
+    /// Thermal network parameters.
+    pub thermal: ThermalConfig,
+}
+
+impl PlatformConfig {
+    /// The paper's platform: the ODROID-XU3 A15 cluster — four cores,
+    /// 19 operating points on a shared V-F rail, INA231 sensing,
+    /// passive cooling.
+    #[must_use]
+    pub fn odroid_xu3_a15() -> Self {
+        PlatformConfig {
+            cores: 4,
+            opp_table: OppTable::odroid_xu3_a15(),
+            vf_domain: VfDomain::PerCluster,
+            power_model: CmosPowerModel::a15(),
+            dvfs: DvfsConfig::typical(),
+            sensor: SensorConfig::ina231(0xA15),
+            thermal: ThermalConfig::odroid_xu3(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `cores` is zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.cores == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "a platform needs at least one core".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self::odroid_xu3_a15()
+    }
+}
+
+/// Everything observable about one completed frame (decision epoch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameResult {
+    /// Time from frame start to barrier completion, including any
+    /// governor/DVFS overhead (`Tᵢ` in the paper's Eq. 5).
+    pub frame_time: SimTime,
+    /// Wall-clock span of the epoch: `max(frame_time, period)` — an
+    /// early-finishing frame idles until the next period tick.
+    pub wall_time: SimTime,
+    /// The period (deadline, `T_ref`) this frame ran against.
+    pub period: SimTime,
+    /// Governor + DVFS overhead charged to this frame (part of
+    /// `T_OVH`).
+    pub overhead: SimTime,
+    /// Per-core busy time (work execution only).
+    pub per_core_busy: Vec<SimTime>,
+    /// Per-core cycles retired.
+    pub per_core_cycles: Vec<Cycles>,
+    /// Ground-truth energy dissipated over `wall_time`.
+    pub energy: Energy,
+    /// Ground-truth average power over `wall_time`.
+    pub avg_power: Power,
+    /// The on-board sensor's (quantised, noisy) power reading.
+    pub measured_power: Power,
+    /// Energy as the paper computes it: sensor power × wall time.
+    pub measured_energy: Energy,
+    /// Die temperature at frame end.
+    pub temperature: Temp,
+    /// Cluster OPP index the frame ran at.
+    pub cluster_opp: usize,
+}
+
+impl FrameResult {
+    /// `true` if the frame met its deadline.
+    #[must_use]
+    pub fn met_deadline(&self) -> bool {
+        self.frame_time <= self.period
+    }
+
+    /// Slack of this single frame as a signed ratio:
+    /// `(period − frame_time) / period`; positive when early.
+    #[must_use]
+    pub fn frame_slack(&self) -> f64 {
+        (self.period.as_secs_f64() - self.frame_time.as_secs_f64()) / self.period.as_secs_f64()
+    }
+
+    /// Busy fraction of a core over the epoch (what ondemand samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn utilization(&self, core: usize) -> f64 {
+        if self.wall_time.is_zero() {
+            return 0.0;
+        }
+        self.per_core_busy[core].ratio(self.wall_time).min(1.0)
+    }
+
+    /// Total cycles retired across all cores this epoch.
+    #[must_use]
+    pub fn total_cycles(&self) -> Cycles {
+        self.per_core_cycles.iter().copied().sum()
+    }
+}
+
+/// The simulated many-core platform.
+///
+/// See the [crate documentation](crate) for an overview and example.
+#[derive(Debug)]
+pub struct Platform {
+    power_model: CmosPowerModel,
+    vf: VfController,
+    pmus: Vec<Pmu>,
+    sensor: PowerSensor,
+    thermal: ThermalModel,
+    now: SimTime,
+    pending_overhead: SimTime,
+    frames: u64,
+    total_true_energy: Energy,
+}
+
+impl Platform {
+    /// Builds a platform from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an invalid configuration.
+    pub fn new(config: PlatformConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        let vf = VfController::new(
+            config.opp_table.clone(),
+            config.vf_domain,
+            config.cores,
+            config.dvfs.clone(),
+        )?;
+        Ok(Platform {
+            power_model: config.power_model,
+            vf,
+            pmus: (0..config.cores).map(|_| Pmu::new()).collect(),
+            sensor: PowerSensor::new(config.sensor),
+            thermal: ThermalModel::new(config.thermal),
+            now: SimTime::ZERO,
+            pending_overhead: SimTime::ZERO,
+            frames: 0,
+            total_true_energy: Energy::ZERO,
+        })
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.pmus.len()
+    }
+
+    /// The operating-point table.
+    #[must_use]
+    pub fn opp_table(&self) -> &OppTable {
+        self.vf.table()
+    }
+
+    /// Simulated time elapsed since construction.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Frames executed so far.
+    #[must_use]
+    pub fn frames_run(&self) -> u64 {
+        self.frames
+    }
+
+    /// Current cluster OPP index.
+    #[must_use]
+    pub fn current_opp(&self) -> usize {
+        self.vf.cluster_opp()
+    }
+
+    /// Current OPP index of one core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CoreOutOfRange`] for a bad core index.
+    pub fn core_opp(&self, core: usize) -> Result<usize, SimError> {
+        self.vf.core_opp(core)
+    }
+
+    /// Retargets the whole cluster to OPP `index`. The transition
+    /// latency is charged to the next frame as overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of table range (indices should come from
+    /// [`opp_table`](Platform::opp_table); use
+    /// [`try_set_cluster_opp`](Platform::try_set_cluster_opp) for
+    /// untrusted input).
+    pub fn set_cluster_opp(&mut self, index: usize) {
+        self.try_set_cluster_opp(index)
+            .expect("OPP index out of range");
+    }
+
+    /// Fallible variant of [`set_cluster_opp`](Platform::set_cluster_opp).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OppOutOfRange`] for a bad index.
+    pub fn try_set_cluster_opp(&mut self, index: usize) -> Result<(), SimError> {
+        let latency = self.vf.set_cluster_opp(index)?;
+        self.pending_overhead += latency;
+        Ok(())
+    }
+
+    /// Retargets one core's V-F domain (the whole cluster on shared-rail
+    /// hardware). The transition latency is charged to the next frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OppOutOfRange`] or
+    /// [`SimError::CoreOutOfRange`] for bad indices.
+    pub fn try_set_core_opp(&mut self, core: usize, index: usize) -> Result<(), SimError> {
+        let latency = self.vf.set_core_opp(core, index)?;
+        self.pending_overhead += latency;
+        Ok(())
+    }
+
+    /// Charges additional overhead time (e.g. the governor's own
+    /// processing cost) to the next frame — the remaining components of
+    /// the paper's `T_OVH`.
+    pub fn add_overhead(&mut self, t: SimTime) {
+        self.pending_overhead += t;
+    }
+
+    /// Access to a core's PMU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn pmu(&self, core: usize) -> &Pmu {
+        &self.pmus[core]
+    }
+
+    /// Current die temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Temp {
+        self.thermal.temperature()
+    }
+
+    /// Peak die temperature so far.
+    #[must_use]
+    pub fn peak_temperature(&self) -> Temp {
+        self.thermal.peak()
+    }
+
+    /// Ground-truth energy dissipated since construction.
+    #[must_use]
+    pub fn total_energy(&self) -> Energy {
+        self.total_true_energy
+    }
+
+    /// The V-F controller (transition counts, cumulated latency).
+    #[must_use]
+    pub fn vf(&self) -> &VfController {
+        &self.vf
+    }
+
+    /// Runs one frame: each core executes its [`WorkSlice`] at its
+    /// current operating point, all cores join at the barrier, and the
+    /// epoch closes at `max(frame_time, period)`.
+    ///
+    /// Any pending overhead (V-F transitions, governor processing) is
+    /// charged serially at the start of the frame, stalling all cores —
+    /// this is how learning overhead lengthens frames in the paper's
+    /// Eq. 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WorkLengthMismatch`] if `work.len()` differs
+    /// from the core count, or [`SimError::InvalidConfig`] if `period`
+    /// is zero.
+    pub fn run_frame(
+        &mut self,
+        work: &[WorkSlice],
+        period: SimTime,
+    ) -> Result<FrameResult, SimError> {
+        if work.len() != self.pmus.len() {
+            return Err(SimError::WorkLengthMismatch {
+                cores: self.pmus.len(),
+                got: work.len(),
+            });
+        }
+        if period.is_zero() {
+            return Err(SimError::InvalidConfig {
+                reason: "frame period must be non-zero".into(),
+            });
+        }
+
+        let overhead = self.pending_overhead;
+        self.pending_overhead = SimTime::ZERO;
+
+        // Execute to the barrier.
+        let mut per_core_busy = Vec::with_capacity(work.len());
+        let mut per_core_cycles = Vec::with_capacity(work.len());
+        let mut compute_time = SimTime::ZERO;
+        for (core, slice) in work.iter().enumerate() {
+            let opp_idx = self.vf.core_opp(core).expect("core index in range");
+            let freq = self.vf.table().get(opp_idx).expect("opp index in range").freq;
+            let busy = slice.time_at(freq);
+            compute_time = compute_time.max(busy);
+            per_core_busy.push(busy);
+            per_core_cycles.push(slice.cpu_cycles);
+        }
+        let frame_time = compute_time + overhead;
+        let wall_time = frame_time.max(period);
+
+        // Energy accounting at the temperature of frame start.
+        let temp = self.thermal.temperature();
+        let mut energy = Energy::ZERO;
+        for (core, &busy) in per_core_busy.iter().enumerate() {
+            let opp_idx = self.vf.core_opp(core).expect("core index in range");
+            let opp = self.vf.table().get(opp_idx).expect("opp index in range");
+            // The governor's serial overhead section runs on core 0.
+            let active = if core == 0 { busy + overhead } else { busy };
+            let active = active.min(wall_time);
+            let idle = wall_time - active;
+            let p_busy = self.power_model.core_power(opp, 1.0, temp).total();
+            let p_idle = self.power_model.core_power(opp, 0.0, temp).total();
+            energy += p_busy * active + p_idle * idle;
+            self.pmus[core].record(per_core_cycles[core], busy, wall_time.saturating_sub(busy));
+        }
+        let cluster_opp_idx = self.vf.cluster_opp();
+        let cluster_opp = self
+            .vf
+            .table()
+            .get(cluster_opp_idx)
+            .expect("cluster opp in range");
+        energy += self.power_model.uncore_power(cluster_opp, temp).total() * wall_time;
+
+        let avg_power = Power::from_watts(energy.as_joules() / wall_time.as_secs_f64());
+        self.sensor.integrate(avg_power, wall_time);
+        let measured_power = self.sensor.read_frame_average();
+        let measured_energy = measured_power * wall_time;
+
+        let temperature = self.thermal.step(avg_power, wall_time);
+        self.now += wall_time;
+        self.frames += 1;
+        self.total_true_energy += energy;
+
+        Ok(FrameResult {
+            frame_time,
+            wall_time,
+            period,
+            overhead,
+            per_core_busy,
+            per_core_cycles,
+            energy,
+            avg_power,
+            measured_power,
+            measured_energy,
+            temperature,
+            cluster_opp: cluster_opp_idx,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_platform() -> Platform {
+        let config = PlatformConfig {
+            sensor: SensorConfig::ideal(),
+            dvfs: DvfsConfig::free(),
+            ..PlatformConfig::odroid_xu3_a15()
+        };
+        Platform::new(config).unwrap()
+    }
+
+    #[test]
+    fn frame_time_follows_frequency() {
+        let mut p = quiet_platform();
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(20)); 4];
+        let period = SimTime::from_ms(200);
+
+        p.set_cluster_opp(0); // 200 MHz: 20 Mcycles take 100 ms
+        let slow = p.run_frame(&work, period).unwrap();
+        assert_eq!(slow.frame_time, SimTime::from_ms(100));
+
+        p.set_cluster_opp(18); // 2 GHz: 10 ms
+        let fast = p.run_frame(&work, period).unwrap();
+        assert_eq!(fast.frame_time, SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn memory_time_does_not_scale() {
+        let mut p = quiet_platform();
+        let work = vec![
+            WorkSlice::new(Cycles::from_mcycles(10), SimTime::from_ms(5));
+            4
+        ];
+        p.set_cluster_opp(18); // 2 GHz: cpu 5 ms + mem 5 ms
+        let r = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        assert_eq!(r.frame_time, SimTime::from_ms(10));
+        p.set_cluster_opp(8); // 1 GHz: cpu 10 ms + mem 5 ms
+        let r = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        assert_eq!(r.frame_time, SimTime::from_ms(15));
+    }
+
+    #[test]
+    fn barrier_takes_slowest_core() {
+        let mut p = quiet_platform();
+        p.set_cluster_opp(8); // 1 GHz
+        let work = vec![
+            WorkSlice::cpu_only(Cycles::from_mcycles(5)),
+            WorkSlice::cpu_only(Cycles::from_mcycles(30)),
+            WorkSlice::IDLE,
+            WorkSlice::cpu_only(Cycles::from_mcycles(1)),
+        ];
+        let r = p.run_frame(&work, SimTime::from_ms(100)).unwrap();
+        assert_eq!(r.frame_time, SimTime::from_ms(30));
+        assert_eq!(r.per_core_busy[1], SimTime::from_ms(30));
+        assert_eq!(r.per_core_busy[2], SimTime::ZERO);
+    }
+
+    #[test]
+    fn early_frames_idle_until_period() {
+        let mut p = quiet_platform();
+        p.set_cluster_opp(18);
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(2)); 4]; // 1 ms
+        let r = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        assert_eq!(r.wall_time, SimTime::from_ms(40));
+        assert!(r.met_deadline());
+        assert!(r.frame_slack() > 0.9);
+        assert_eq!(p.now(), SimTime::from_ms(40));
+    }
+
+    #[test]
+    fn late_frames_extend_the_wall_clock() {
+        let mut p = quiet_platform();
+        p.set_cluster_opp(0); // 200 MHz
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(20)); 4]; // 100 ms
+        let r = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        assert_eq!(r.wall_time, SimTime::from_ms(100));
+        assert!(!r.met_deadline());
+        assert!(r.frame_slack() < 0.0);
+    }
+
+    #[test]
+    fn running_fast_and_idling_beats_racing_for_heavily_utilised_frames() {
+        // Energy comparison that motivates DVFS: finishing just in time
+        // at a low OPP beats racing to idle at the top OPP.
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(20)); 4];
+        let period = SimTime::from_ms(100);
+
+        let mut racer = quiet_platform();
+        racer.set_cluster_opp(18);
+        let fast = racer.run_frame(&work, period).unwrap();
+        assert!(fast.met_deadline());
+
+        let mut crawler = quiet_platform();
+        crawler.set_cluster_opp(1); // 300 MHz: 66.7 ms, still meets 100 ms
+        let slow = crawler.run_frame(&work, period).unwrap();
+        assert!(slow.met_deadline());
+
+        assert!(
+            slow.energy.as_joules() < fast.energy.as_joules(),
+            "pace-to-deadline ({}) should beat race-to-idle ({})",
+            slow.energy,
+            fast.energy
+        );
+    }
+
+    #[test]
+    fn overhead_is_charged_once_and_stalls_the_frame() {
+        let mut p = quiet_platform();
+        p.set_cluster_opp(8);
+        p.add_overhead(SimTime::from_ms(3));
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(10)); 4]; // 10 ms
+        let r = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        assert_eq!(r.frame_time, SimTime::from_ms(13));
+        assert_eq!(r.overhead, SimTime::from_ms(3));
+        // Consumed: next frame is clean.
+        let r2 = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        assert_eq!(r2.frame_time, SimTime::from_ms(10));
+        assert_eq!(r2.overhead, SimTime::ZERO);
+    }
+
+    #[test]
+    fn dvfs_transition_cost_appears_as_overhead() {
+        let config = PlatformConfig {
+            sensor: SensorConfig::ideal(),
+            ..PlatformConfig::odroid_xu3_a15()
+        };
+        let mut p = Platform::new(config).unwrap();
+        p.set_cluster_opp(18); // big swing from boot OPP 0
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(2)); 4];
+        let r = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        assert!(!r.overhead.is_zero(), "transition latency must be charged");
+        assert_eq!(p.vf().transitions(), 1);
+    }
+
+    #[test]
+    fn pmu_accumulates_across_frames() {
+        let mut p = quiet_platform();
+        p.set_cluster_opp(8);
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(10)); 4];
+        p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        assert_eq!(p.pmu(0).cycles(), Cycles::from_mcycles(20));
+        assert!((p.pmu(0).utilization() - 0.25).abs() < 0.01); // 10 of 40 ms
+    }
+
+    #[test]
+    fn energy_measured_matches_truth_with_ideal_sensor() {
+        let mut p = quiet_platform();
+        p.set_cluster_opp(10);
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(15)); 4];
+        let r = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        assert!(
+            (r.measured_energy.as_joules() - r.energy.as_joules()).abs()
+                < 1e-9 * r.energy.as_joules().max(1.0)
+        );
+    }
+
+    #[test]
+    fn temperature_rises_under_sustained_load() {
+        let mut p = quiet_platform();
+        p.set_cluster_opp(18);
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(60)); 4];
+        let t0 = p.temperature();
+        for _ in 0..200 {
+            p.run_frame(&work, SimTime::from_ms(30)).unwrap();
+        }
+        assert!(p.temperature() > t0);
+        assert!(p.peak_temperature() >= p.temperature());
+    }
+
+    #[test]
+    fn work_length_mismatch_is_rejected() {
+        let mut p = quiet_platform();
+        let work = vec![WorkSlice::IDLE; 3];
+        assert!(matches!(
+            p.run_frame(&work, SimTime::from_ms(40)),
+            Err(SimError::WorkLengthMismatch { cores: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn zero_period_is_rejected() {
+        let mut p = quiet_platform();
+        let work = vec![WorkSlice::IDLE; 4];
+        assert!(p.run_frame(&work, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn total_energy_accumulates() {
+        let mut p = quiet_platform();
+        p.set_cluster_opp(5);
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(5)); 4];
+        let r1 = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        let r2 = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
+        let total = p.total_energy().as_joules();
+        assert!((total - r1.energy.as_joules() - r2.energy.as_joules()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_core_domain_lets_cores_run_at_different_speeds() {
+        let config = PlatformConfig {
+            vf_domain: VfDomain::PerCore,
+            sensor: SensorConfig::ideal(),
+            dvfs: DvfsConfig::free(),
+            ..PlatformConfig::odroid_xu3_a15()
+        };
+        let mut p = Platform::new(config).unwrap();
+        p.try_set_core_opp(0, 18).unwrap(); // 2 GHz
+        p.try_set_core_opp(1, 0).unwrap(); // 200 MHz
+        let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(10)); 4];
+        let r = p.run_frame(&work, SimTime::from_ms(100)).unwrap();
+        assert_eq!(r.per_core_busy[0], SimTime::from_ms(5));
+        assert_eq!(r.per_core_busy[1], SimTime::from_ms(50));
+    }
+}

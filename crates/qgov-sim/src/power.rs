@@ -1,0 +1,275 @@
+//! CMOS power model.
+//!
+//! Per-core power is modelled with the standard decomposition the paper
+//! relies on for its "cubic reduction in dynamic power" claim:
+//!
+//! ```text
+//! P_dyn    = C_eff · V² · f · activity         (switching power)
+//! P_static = (k₁·V + k₂·V³) · (1 + k_T·(T−25)) (leakage, grows with V and T)
+//! ```
+//!
+//! The default constants are calibrated so a four-core A15 cluster at
+//! 2 GHz / 1.3625 V under full load dissipates ≈ 5.5 W and ≈ 0.35 W at
+//! 200 MHz / 0.9 V, matching published ODROID-XU3 measurements.
+
+use crate::Opp;
+use qgov_units::{Power, Temp};
+
+/// Decomposition of a power figure into its physical components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Switching (dynamic) power.
+    pub dynamic: Power,
+    /// Leakage (static) power.
+    pub statik: Power,
+}
+
+impl PowerBreakdown {
+    /// Total power.
+    #[must_use]
+    pub fn total(&self) -> Power {
+        self.dynamic + self.statik
+    }
+}
+
+/// A model mapping (operating point, activity, temperature) to power.
+pub trait PowerModel {
+    /// Power of one core at `opp` with switching `activity ∈ [0, 1]`
+    /// (1 = fully busy, 0 = clock-gated idle) and die temperature
+    /// `temp`.
+    fn core_power(&self, opp: Opp, activity: f64, temp: Temp) -> PowerBreakdown;
+
+    /// Cluster-level uncore power (L2, interconnect, clock tree) at
+    /// `opp` — dissipated regardless of how many cores are busy.
+    fn uncore_power(&self, opp: Opp, temp: Temp) -> PowerBreakdown;
+}
+
+/// The default analytical CMOS power model.
+///
+/// # Examples
+///
+/// ```
+/// use qgov_sim::{CmosPowerModel, OppTable, PowerModel};
+/// use qgov_units::Temp;
+///
+/// let model = CmosPowerModel::a15();
+/// let table = OppTable::odroid_xu3_a15();
+/// let low = model.core_power(table.get(0).unwrap(), 1.0, Temp::default());
+/// let high = model.core_power(table.get(18).unwrap(), 1.0, Temp::default());
+/// // An order of magnitude or more between the extremes.
+/// assert!(high.total().as_watts() > 8.0 * low.total().as_watts());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CmosPowerModel {
+    /// Effective switched capacitance per core in farads.
+    ceff_core: f64,
+    /// Effective switched capacitance of the shared uncore in farads.
+    ceff_uncore: f64,
+    /// Linear leakage coefficient (W per volt).
+    k1_leak: f64,
+    /// Cubic leakage coefficient (W per volt³).
+    k3_leak: f64,
+    /// Leakage temperature sensitivity (fraction per °C above 25 °C).
+    kt_leak: f64,
+    /// Residual switching activity when idle (clock-gated WFI state).
+    idle_activity: f64,
+}
+
+impl CmosPowerModel {
+    /// Builds a model from raw physical constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constant is negative or not finite, or if
+    /// `idle_activity` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        ceff_core: f64,
+        ceff_uncore: f64,
+        k1_leak: f64,
+        k3_leak: f64,
+        kt_leak: f64,
+        idle_activity: f64,
+    ) -> Self {
+        for (name, v) in [
+            ("ceff_core", ceff_core),
+            ("ceff_uncore", ceff_uncore),
+            ("k1_leak", k1_leak),
+            ("k3_leak", k3_leak),
+            ("kt_leak", kt_leak),
+            ("idle_activity", idle_activity),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "power model constant {name} must be finite and non-negative, got {v}"
+            );
+        }
+        assert!(
+            idle_activity <= 1.0,
+            "idle_activity must be at most 1, got {idle_activity}"
+        );
+        CmosPowerModel {
+            ceff_core,
+            ceff_uncore,
+            k1_leak,
+            k3_leak,
+            kt_leak,
+            idle_activity,
+        }
+    }
+
+    /// Constants calibrated for one ODROID-XU3 A15 core:
+    /// `C_eff = 0.30 nF` per core, `0.12 nF` uncore, leakage sized so
+    /// the quad cluster dissipates ≈ 5.5 W flat-out at 2 GHz and
+    /// ≈ 0.35 W at 200 MHz.
+    #[must_use]
+    pub fn a15() -> Self {
+        Self::new(0.30e-9, 0.12e-9, 0.04, 0.045, 0.012, 0.05)
+    }
+
+    /// Constants for the low-power A7 companion cluster (roughly 5× less
+    /// switched capacitance).
+    #[must_use]
+    pub fn a7() -> Self {
+        Self::new(0.06e-9, 0.03e-9, 0.01, 0.012, 0.012, 0.05)
+    }
+
+    /// The residual activity factor applied when a core idles.
+    #[must_use]
+    pub fn idle_activity(&self) -> f64 {
+        self.idle_activity
+    }
+
+    fn leakage(&self, volt_v: f64, temp: Temp) -> Power {
+        let base = self.k1_leak * volt_v + self.k3_leak * volt_v * volt_v * volt_v;
+        let t_scale = 1.0 + self.kt_leak * (temp.as_celsius() - 25.0).max(0.0);
+        Power::from_watts(base * t_scale)
+    }
+}
+
+impl PowerModel for CmosPowerModel {
+    fn core_power(&self, opp: Opp, activity: f64, temp: Temp) -> PowerBreakdown {
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity must lie in [0, 1], got {activity}"
+        );
+        let act = activity.max(self.idle_activity);
+        let dynamic =
+            Power::from_watts(self.ceff_core * opp.volt.squared() * opp.freq.hz() as f64 * act);
+        PowerBreakdown {
+            dynamic,
+            statik: self.leakage(opp.volt.as_volts(), temp),
+        }
+    }
+
+    fn uncore_power(&self, opp: Opp, temp: Temp) -> PowerBreakdown {
+        let dynamic =
+            Power::from_watts(self.ceff_uncore * opp.volt.squared() * opp.freq.hz() as f64);
+        PowerBreakdown {
+            dynamic,
+            statik: self.leakage(opp.volt.as_volts(), temp) * 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OppTable;
+
+    fn a15_cluster_power_at(index: usize, activity: f64) -> f64 {
+        let model = CmosPowerModel::a15();
+        let table = OppTable::odroid_xu3_a15();
+        let opp = table.get(index).unwrap();
+        let core = model.core_power(opp, activity, Temp::default()).total();
+        let uncore = model.uncore_power(opp, Temp::default()).total();
+        4.0 * core.as_watts() + uncore.as_watts()
+    }
+
+    #[test]
+    fn calibration_matches_published_xu3_envelope() {
+        let full_speed = a15_cluster_power_at(18, 1.0);
+        assert!(
+            (4.5..7.0).contains(&full_speed),
+            "quad A15 at 2 GHz should draw 4.5-7 W, got {full_speed:.2} W"
+        );
+        let low_speed = a15_cluster_power_at(0, 1.0);
+        assert!(
+            (0.15..0.7).contains(&low_speed),
+            "quad A15 at 200 MHz should draw 0.15-0.7 W, got {low_speed:.2} W"
+        );
+    }
+
+    #[test]
+    fn power_is_monotone_in_opp() {
+        let mut prev = 0.0;
+        for i in 0..19 {
+            let p = a15_cluster_power_at(i, 1.0);
+            assert!(p > prev, "power must rise with OPP index ({i})");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn idle_draws_much_less_than_busy() {
+        let busy = a15_cluster_power_at(18, 1.0);
+        let idle = a15_cluster_power_at(18, 0.0);
+        assert!(
+            idle < 0.35 * busy,
+            "idle {idle:.2} W should be well below busy {busy:.2} W"
+        );
+        assert!(idle > 0.0, "idle still leaks");
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let model = CmosPowerModel::a15();
+        let opp = OppTable::odroid_xu3_a15().get(18).unwrap();
+        let cold = model.core_power(opp, 0.0, Temp::from_celsius(25.0));
+        let hot = model.core_power(opp, 0.0, Temp::from_celsius(85.0));
+        assert!(hot.statik > cold.statik);
+        assert_eq!(hot.dynamic, cold.dynamic);
+    }
+
+    #[test]
+    fn cubic_freq_voltage_scaling_beats_linear() {
+        // Halving frequency with the accompanying voltage drop should
+        // cut dynamic power by far more than 2x (the paper's cubic
+        // reduction motivation).
+        let model = CmosPowerModel::a15();
+        let table = OppTable::odroid_xu3_a15();
+        let p2000 = model
+            .core_power(table.get(18).unwrap(), 1.0, Temp::default())
+            .dynamic;
+        let p1000 = model
+            .core_power(table.get(8).unwrap(), 1.0, Temp::default())
+            .dynamic;
+        let ratio = p2000.as_watts() / p1000.as_watts();
+        assert!(ratio > 3.0, "expected >3x dynamic drop, got {ratio:.2}x");
+    }
+
+    #[test]
+    fn a7_draws_less_than_a15() {
+        let a15 = CmosPowerModel::a15();
+        let a7 = CmosPowerModel::a7();
+        let opp = OppTable::odroid_xu3_a7().get(12).unwrap();
+        let pa15 = a15.core_power(opp, 1.0, Temp::default()).total();
+        let pa7 = a7.core_power(opp, 1.0, Temp::default()).total();
+        assert!(pa7.as_watts() < 0.5 * pa15.as_watts());
+    }
+
+    #[test]
+    #[should_panic(expected = "activity")]
+    fn activity_out_of_range_panics() {
+        let model = CmosPowerModel::a15();
+        let opp = OppTable::odroid_xu3_a15().get(0).unwrap();
+        let _ = model.core_power(opp, 1.5, Temp::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_constant_panics() {
+        let _ = CmosPowerModel::new(-1.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Strongly-typed physical units for the `qgov` run-time energy-management
+//! stack.
+//!
+//! The simulator, governors and benchmarks all exchange physical quantities
+//! (frequencies, voltages, powers, energies, durations, cycle counts and
+//! temperatures). Using newtypes instead of bare numbers rules out an entire
+//! class of unit-confusion bugs at compile time (C-NEWTYPE): a [`Freq`] can
+//! never be accidentally added to a [`Volt`], and a cycle count divided by a
+//! frequency yields a [`SimTime`], not an unlabelled float.
+//!
+//! Quantities that participate in control-flow decisions ([`Freq`],
+//! [`SimTime`], [`Cycles`], [`Volt`]) are integer-backed so simulations are
+//! bit-reproducible across platforms. Quantities that are only accumulated
+//! and reported ([`Power`], [`Energy`], [`Temp`]) are `f64`-backed.
+//!
+//! # Examples
+//!
+//! ```
+//! use qgov_units::{Cycles, Freq, SimTime};
+//!
+//! // 20 M cycles at 1 GHz take 20 ms.
+//! let t = Cycles::new(20_000_000).time_at(Freq::from_mhz(1000));
+//! assert_eq!(t, SimTime::from_ms(20));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycles;
+mod energy;
+mod freq;
+mod power;
+mod temp;
+mod time;
+mod volt;
+
+pub use cycles::Cycles;
+pub use energy::Energy;
+pub use freq::Freq;
+pub use power::Power;
+pub use temp::Temp;
+pub use time::SimTime;
+pub use volt::Volt;

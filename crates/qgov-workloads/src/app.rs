@@ -1,0 +1,92 @@
+//! The application abstraction.
+
+use crate::FrameDemand;
+use qgov_units::SimTime;
+
+/// A periodic, frame-structured application — the form every workload
+/// takes in the paper's evaluation ("each application is transformed to
+/// a periodic structure, where it is executed for several iterations
+/// each of which is accompanied by a deadline", Section III).
+///
+/// Implementations are deterministic: a model constructed with the same
+/// seed yields the same frame sequence, and [`reset`](Application::reset)
+/// rewinds to frame zero of that same sequence.
+pub trait Application {
+    /// Human-readable application name ("mpeg4", "h264", ...).
+    fn name(&self) -> &str;
+
+    /// The frame period, i.e. the per-frame deadline `T_ref`.
+    fn period(&self) -> SimTime;
+
+    /// Total number of frames in the run.
+    fn frames(&self) -> u64;
+
+    /// Produces the next frame's work demand.
+    fn next_frame(&mut self) -> FrameDemand;
+
+    /// Rewinds to frame zero, reproducing the identical sequence.
+    fn reset(&mut self);
+
+    /// The frame rate in frames per second (derived from
+    /// [`period`](Application::period)).
+    fn fps(&self) -> f64 {
+        1.0 / self.period().as_secs_f64()
+    }
+}
+
+/// Blanket impl so `Box<dyn Application>` is itself an application.
+impl<A: Application + ?Sized> Application for Box<A> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn period(&self) -> SimTime {
+        (**self).period()
+    }
+    fn frames(&self) -> u64 {
+        (**self).frames()
+    }
+    fn next_frame(&mut self) -> FrameDemand {
+        (**self).next_frame()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticWorkload;
+    use qgov_units::Cycles;
+
+    #[test]
+    fn fps_inverts_period() {
+        let app = SyntheticWorkload::constant(
+            "c",
+            Cycles::from_mcycles(1),
+            SimTime::from_ms(40),
+            10,
+            1,
+            0,
+        );
+        assert!((app.fps() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boxed_application_delegates() {
+        let mut app: Box<dyn Application> = Box::new(SyntheticWorkload::constant(
+            "c",
+            Cycles::from_mcycles(2),
+            SimTime::from_ms(20),
+            5,
+            2,
+            0,
+        ));
+        assert_eq!(app.name(), "c");
+        assert_eq!(app.frames(), 5);
+        let f = app.next_frame();
+        assert_eq!(f.thread_count(), 2);
+        app.reset();
+        assert_eq!(app.next_frame(), f);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for workload construction and trace parsing.
+
+use core::fmt;
+
+/// Error returned by workload constructors and trace I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A workload model was configured inconsistently.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A CSV trace line could not be parsed.
+    ParseTraceError {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig { reason } => {
+                write!(f, "invalid workload configuration: {reason}")
+            }
+            WorkloadError::ParseTraceError { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_number() {
+        let e = WorkloadError::ParseTraceError {
+            line: 17,
+            reason: "bad integer".into(),
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("bad integer"));
+    }
+}

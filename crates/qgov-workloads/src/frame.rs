@@ -1,0 +1,137 @@
+//! Per-frame work demands.
+
+use qgov_units::{Cycles, SimTime};
+
+/// The work one thread must perform within one frame.
+///
+/// Structurally mirrors the simulator's `WorkSlice`: a
+/// frequency-scalable CPU component plus a frequency-invariant memory
+/// component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ThreadDemand {
+    /// CPU-bound cycles to retire.
+    pub cpu_cycles: Cycles,
+    /// Memory/IO stall time that does not scale with core frequency.
+    pub mem_time: SimTime,
+}
+
+impl ThreadDemand {
+    /// Creates a demand with both components.
+    #[must_use]
+    pub const fn new(cpu_cycles: Cycles, mem_time: SimTime) -> Self {
+        ThreadDemand {
+            cpu_cycles,
+            mem_time,
+        }
+    }
+
+    /// A purely CPU-bound demand.
+    #[must_use]
+    pub const fn cpu_only(cpu_cycles: Cycles) -> Self {
+        ThreadDemand {
+            cpu_cycles,
+            mem_time: SimTime::ZERO,
+        }
+    }
+}
+
+/// The work demand of one application frame: one entry per spawned
+/// thread ("at each iteration, multiple threads are spawned with each
+/// thread performing a task on the input data", Section III).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FrameDemand {
+    /// Per-thread demands; thread `i` is scheduled on core `i`.
+    pub threads: Vec<ThreadDemand>,
+}
+
+impl FrameDemand {
+    /// Creates a frame demand from per-thread demands.
+    #[must_use]
+    pub fn new(threads: Vec<ThreadDemand>) -> Self {
+        FrameDemand { threads }
+    }
+
+    /// A frame spreading `total` cycles evenly over `threads` threads
+    /// (remainder cycles go to thread 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn split_evenly(total: Cycles, threads: usize, mem_time: SimTime) -> Self {
+        assert!(threads > 0, "a frame needs at least one thread");
+        let per = total.count() / threads as u64;
+        let rem = total.count() % threads as u64;
+        let demands = (0..threads)
+            .map(|i| {
+                let c = if i == 0 { per + rem } else { per };
+                ThreadDemand::new(Cycles::new(c), mem_time)
+            })
+            .collect();
+        FrameDemand { threads: demands }
+    }
+
+    /// Number of threads this frame spawns.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total CPU cycles across all threads — the frame's `CC` workload
+    /// measure.
+    #[must_use]
+    pub fn total_cycles(&self) -> Cycles {
+        self.threads.iter().map(|t| t.cpu_cycles).sum()
+    }
+
+    /// The largest single-thread demand (the barrier's critical path).
+    #[must_use]
+    pub fn max_thread_cycles(&self) -> Cycles {
+        self.threads
+            .iter()
+            .map(|t| t.cpu_cycles)
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_evenly_conserves_cycles() {
+        let f = FrameDemand::split_evenly(Cycles::new(103), 4, SimTime::ZERO);
+        assert_eq!(f.thread_count(), 4);
+        assert_eq!(f.total_cycles(), Cycles::new(103));
+        // Remainder on thread 0.
+        assert_eq!(f.threads[0].cpu_cycles, Cycles::new(28));
+        assert_eq!(f.threads[1].cpu_cycles, Cycles::new(25));
+    }
+
+    #[test]
+    fn max_thread_cycles_finds_critical_path() {
+        let f = FrameDemand::new(vec![
+            ThreadDemand::cpu_only(Cycles::new(10)),
+            ThreadDemand::cpu_only(Cycles::new(99)),
+            ThreadDemand::cpu_only(Cycles::new(5)),
+        ]);
+        assert_eq!(f.max_thread_cycles(), Cycles::new(99));
+    }
+
+    #[test]
+    fn empty_frame_is_all_zero() {
+        let f = FrameDemand::default();
+        assert_eq!(f.thread_count(), 0);
+        assert_eq!(f.total_cycles(), Cycles::ZERO);
+        assert_eq!(f.max_thread_cycles(), Cycles::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = FrameDemand::split_evenly(Cycles::new(10), 0, SimTime::ZERO);
+    }
+}

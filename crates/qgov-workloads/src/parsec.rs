@@ -1,0 +1,536 @@
+//! Phase-structured parallel benchmark models.
+//!
+//! The paper's evaluation "tests various applications: … and the PARSEC
+//! and SPLASH2 benchmarks" (Section III), each transformed to the
+//! periodic frame structure. To a DVFS governor each benchmark is a
+//! characteristic process of per-frame, per-thread cycle demands; the
+//! presets here reproduce the documented qualitative profiles — uniform
+//! data parallelism (blackscholes, swaptions), per-frame variability
+//! (bodytrack), pipeline imbalance (ferret), memory-boundedness
+//! (streamcluster, ocean), phase alternation (radix), and shrinking
+//! parallel work (lu).
+
+use crate::process::gaussian;
+use crate::{Application, FrameDemand, ThreadDemand, WorkloadError};
+use qgov_units::{Cycles, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One execution phase of a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// How many consecutive frames this phase lasts.
+    pub frames: u64,
+    /// Mean CPU cycles per thread per frame.
+    pub cycles_per_thread: Cycles,
+    /// Coefficient of variation of the per-frame demand.
+    pub cv: f64,
+    /// Frequency-invariant memory time per thread per frame.
+    pub mem_time: SimTime,
+    /// Relative per-thread load weights; empty means perfectly balanced.
+    /// (`weights.len()` must equal the model's thread count otherwise.)
+    pub weights: Vec<f64>,
+}
+
+impl Phase {
+    /// A balanced phase.
+    #[must_use]
+    pub fn balanced(frames: u64, cycles_per_thread: Cycles, cv: f64, mem_time: SimTime) -> Self {
+        Phase {
+            frames,
+            cycles_per_thread,
+            cv,
+            mem_time,
+            weights: Vec::new(),
+        }
+    }
+}
+
+/// A benchmark that cycles through [`Phase`]s, emitting one frame per
+/// decision epoch.
+///
+/// # Examples
+///
+/// ```
+/// use qgov_workloads::{Application, suites};
+///
+/// let mut app = suites::bodytrack(3);
+/// assert_eq!(app.name(), "bodytrack");
+/// let f = app.next_frame();
+/// assert_eq!(f.thread_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhasedBenchmarkModel {
+    name: String,
+    period: SimTime,
+    frames: u64,
+    threads: usize,
+    phases: Vec<Phase>,
+    seed: u64,
+    rng: StdRng,
+    frame_index: u64,
+}
+
+impl PhasedBenchmarkModel {
+    /// Creates a phased benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] if there are no phases,
+    /// any phase lasts zero frames, weights disagree with the thread
+    /// count, or counts are zero.
+    pub fn new(
+        name: impl Into<String>,
+        period: SimTime,
+        frames: u64,
+        threads: usize,
+        phases: Vec<Phase>,
+        seed: u64,
+    ) -> Result<Self, WorkloadError> {
+        let fail = |reason: String| Err(WorkloadError::InvalidConfig { reason });
+        if phases.is_empty() {
+            return fail("benchmark needs at least one phase".into());
+        }
+        if frames == 0 || threads == 0 {
+            return fail("frames and threads must be non-zero".into());
+        }
+        if period.is_zero() {
+            return fail("period must be non-zero".into());
+        }
+        for (i, phase) in phases.iter().enumerate() {
+            if phase.frames == 0 {
+                return fail(format!("phase {i} lasts zero frames"));
+            }
+            if !(phase.cv.is_finite() && (0.0..1.0).contains(&phase.cv)) {
+                return fail(format!("phase {i} cv must lie in [0, 1)"));
+            }
+            if !phase.weights.is_empty() && phase.weights.len() != threads {
+                return fail(format!(
+                    "phase {i} has {} weights for {threads} threads",
+                    phase.weights.len()
+                ));
+            }
+            if phase.weights.iter().any(|&w| !(w.is_finite() && w > 0.0)) {
+                return fail(format!("phase {i} has non-positive weights"));
+            }
+        }
+        Ok(PhasedBenchmarkModel {
+            name: name.into(),
+            period,
+            frames,
+            threads,
+            phases,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            frame_index: 0,
+        })
+    }
+
+    /// The phase active at a given frame index (phases repeat
+    /// cyclically).
+    #[must_use]
+    pub fn phase_at(&self, frame: u64) -> &Phase {
+        let cycle_len: u64 = self.phases.iter().map(|p| p.frames).sum();
+        let mut pos = frame % cycle_len;
+        for phase in &self.phases {
+            if pos < phase.frames {
+                return phase;
+            }
+            pos -= phase.frames;
+        }
+        unreachable!("pos is within the cycle by construction")
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Application for PhasedBenchmarkModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn period(&self) -> SimTime {
+        self.period
+    }
+
+    fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    fn next_frame(&mut self) -> FrameDemand {
+        let phase = self.phase_at(self.frame_index).clone();
+        let noise = 1.0 + phase.cv * gaussian(&mut self.rng);
+        let base = phase.cycles_per_thread.scale(noise.max(0.2));
+        let threads = (0..self.threads)
+            .map(|t| {
+                let w = phase.weights.get(t).copied().unwrap_or(1.0);
+                ThreadDemand::new(base.scale(w), phase.mem_time)
+            })
+            .collect();
+        self.frame_index += 1;
+        FrameDemand::new(threads)
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.frame_index = 0;
+    }
+}
+
+const FRAME_33MS: SimTime = SimTime::from_ms(33);
+
+/// PARSEC-like `blackscholes`: embarrassingly parallel option pricing,
+/// near-uniform per-frame cost.
+#[must_use]
+pub fn blackscholes(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "blackscholes",
+        FRAME_33MS,
+        800,
+        4,
+        vec![Phase::balanced(
+            1,
+            Cycles::from_mcycles(22),
+            0.03,
+            SimTime::from_ms(1),
+        )],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// PARSEC-like `bodytrack`: vision pipeline with three markedly
+/// different stages per tracking iteration and high per-frame variance.
+#[must_use]
+pub fn bodytrack(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "bodytrack",
+        FRAME_33MS,
+        900,
+        4,
+        vec![
+            Phase::balanced(3, Cycles::from_mcycles(30), 0.25, SimTime::from_ms(3)),
+            Phase::balanced(2, Cycles::from_mcycles(14), 0.2, SimTime::from_ms(2)),
+            Phase::balanced(1, Cycles::from_mcycles(42), 0.3, SimTime::from_ms(4)),
+        ],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// PARSEC-like `ferret`: similarity-search pipeline; stages map to
+/// threads with persistent imbalance.
+#[must_use]
+pub fn ferret(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "ferret",
+        FRAME_33MS,
+        800,
+        4,
+        vec![Phase {
+            frames: 1,
+            cycles_per_thread: Cycles::from_mcycles(20),
+            cv: 0.12,
+            mem_time: SimTime::from_ms(2),
+            weights: vec![0.6, 1.4, 1.1, 0.9],
+        }],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// PARSEC-like `fluidanimate`: particle simulation alternating collision
+/// and advection phases.
+#[must_use]
+pub fn fluidanimate(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "fluidanimate",
+        FRAME_33MS,
+        800,
+        4,
+        vec![
+            Phase::balanced(2, Cycles::from_mcycles(26), 0.08, SimTime::from_ms(3)),
+            Phase::balanced(1, Cycles::from_mcycles(16), 0.08, SimTime::from_ms(2)),
+        ],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// PARSEC-like `streamcluster`: online clustering, strongly
+/// memory-bound (large invariant stall component).
+#[must_use]
+pub fn streamcluster(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "streamcluster",
+        FRAME_33MS,
+        800,
+        4,
+        vec![Phase::balanced(
+            1,
+            Cycles::from_mcycles(12),
+            0.15,
+            SimTime::from_ms(9),
+        )],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// PARSEC-like `swaptions`: Monte-Carlo pricing, CPU-bound and uniform.
+#[must_use]
+pub fn swaptions(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "swaptions",
+        FRAME_33MS,
+        800,
+        4,
+        vec![Phase::balanced(
+            1,
+            Cycles::from_mcycles(28),
+            0.02,
+            SimTime::from_us(500),
+        )],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// SPLASH-2-like `barnes`: N-body tree code with irregular per-step
+/// cost.
+#[must_use]
+pub fn barnes(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "barnes",
+        FRAME_33MS,
+        800,
+        4,
+        vec![
+            Phase::balanced(4, Cycles::from_mcycles(24), 0.3, SimTime::from_ms(2)),
+            Phase::balanced(1, Cycles::from_mcycles(38), 0.2, SimTime::from_ms(3)),
+        ],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// SPLASH-2-like `ocean`: grid solver dominated by memory traffic.
+#[must_use]
+pub fn ocean(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "ocean",
+        FRAME_33MS,
+        800,
+        4,
+        vec![Phase::balanced(
+            1,
+            Cycles::from_mcycles(14),
+            0.1,
+            SimTime::from_ms(8),
+        )],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// SPLASH-2-like `radix`: sort alternating histogram and permutation
+/// phases of very different intensity.
+#[must_use]
+pub fn radix(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "radix",
+        FRAME_33MS,
+        800,
+        4,
+        vec![
+            Phase::balanced(2, Cycles::from_mcycles(32), 0.05, SimTime::from_ms(1)),
+            Phase::balanced(2, Cycles::from_mcycles(10), 0.05, SimTime::from_ms(6)),
+        ],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// SPLASH-2-like `lu`: blocked dense factorisation; the trailing
+/// submatrix (and with it the parallel work) shrinks over the run.
+#[must_use]
+pub fn lu(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "lu",
+        FRAME_33MS,
+        800,
+        4,
+        vec![
+            Phase::balanced(200, Cycles::from_mcycles(36), 0.06, SimTime::from_ms(2)),
+            Phase::balanced(200, Cycles::from_mcycles(26), 0.06, SimTime::from_ms(2)),
+            Phase::balanced(200, Cycles::from_mcycles(16), 0.06, SimTime::from_ms(1)),
+            Phase::balanced(200, Cycles::from_mcycles(8), 0.06, SimTime::from_ms(1)),
+        ],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// SPLASH-2-like `fft`: the suite's six-step FFT, regular and slightly
+/// memory-bound (distinct from the paper's standalone FFT application).
+#[must_use]
+pub fn splash_fft(seed: u64) -> PhasedBenchmarkModel {
+    PhasedBenchmarkModel::new(
+        "splash-fft",
+        FRAME_33MS,
+        800,
+        4,
+        vec![Phase::balanced(
+            1,
+            Cycles::from_mcycles(20),
+            0.04,
+            SimTime::from_ms(4),
+        )],
+        seed,
+    )
+    .expect("preset is valid")
+}
+
+/// All PARSEC-like presets.
+#[must_use]
+pub fn all_parsec(seed: u64) -> Vec<PhasedBenchmarkModel> {
+    vec![
+        blackscholes(seed),
+        bodytrack(seed.wrapping_add(1)),
+        ferret(seed.wrapping_add(2)),
+        fluidanimate(seed.wrapping_add(3)),
+        streamcluster(seed.wrapping_add(4)),
+        swaptions(seed.wrapping_add(5)),
+    ]
+}
+
+/// All SPLASH-2-like presets.
+#[must_use]
+pub fn all_splash2(seed: u64) -> Vec<PhasedBenchmarkModel> {
+    vec![
+        barnes(seed),
+        ocean(seed.wrapping_add(1)),
+        radix(seed.wrapping_add(2)),
+        lu(seed.wrapping_add(3)),
+        splash_fft(seed.wrapping_add(4)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_emit_valid_frames() {
+        let mut apps: Vec<PhasedBenchmarkModel> = all_parsec(1);
+        apps.extend(all_splash2(2));
+        assert_eq!(apps.len(), 11);
+        for app in &mut apps {
+            for _ in 0..20 {
+                let f = app.next_frame();
+                assert_eq!(f.thread_count(), 4, "{}", app.name());
+                assert!(f.total_cycles().count() > 0, "{}", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn swaptions_is_uniform_bodytrack_is_not() {
+        let cv = |app: &mut PhasedBenchmarkModel| {
+            let xs: Vec<f64> = (0..400)
+                .map(|_| app.next_frame().total_cycles().count() as f64)
+                .collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(cv(&mut swaptions(3)) < 0.05);
+        assert!(cv(&mut bodytrack(3)) > 0.2);
+    }
+
+    #[test]
+    fn ferret_threads_are_persistently_imbalanced() {
+        let mut app = ferret(5);
+        let mut thread_sums = [0u64; 4];
+        for _ in 0..200 {
+            let f = app.next_frame();
+            for (t, d) in f.threads.iter().enumerate() {
+                thread_sums[t] += d.cpu_cycles.count();
+            }
+        }
+        // Stage 1 (weight 1.4) must dominate stage 0 (weight 0.6).
+        assert!(thread_sums[1] > 2 * thread_sums[0]);
+    }
+
+    #[test]
+    fn streamcluster_is_memory_bound() {
+        let mut app = streamcluster(7);
+        let f = app.next_frame();
+        // Memory time (9 ms) exceeds CPU time even at 2 GHz (12 Mc -> 6 ms).
+        assert!(f.threads[0].mem_time >= SimTime::from_ms(9));
+    }
+
+    #[test]
+    fn lu_work_shrinks_over_the_run() {
+        let mut app = lu(9);
+        let early: u64 = (0..50).map(|_| app.next_frame().total_cycles().count()).sum();
+        for _ in 50..600 {
+            app.next_frame();
+        }
+        let late: u64 = (0..50).map(|_| app.next_frame().total_cycles().count()).sum();
+        assert!(early > 2 * late, "lu must shrink: early {early}, late {late}");
+    }
+
+    #[test]
+    fn phases_repeat_cyclically() {
+        let app = radix(0);
+        // radix: 2 heavy + 2 light frames per cycle.
+        let heavy = app.phase_at(0).cycles_per_thread;
+        assert_eq!(app.phase_at(1).cycles_per_thread, heavy);
+        let light = app.phase_at(2).cycles_per_thread;
+        assert!(light < heavy);
+        assert_eq!(app.phase_at(4).cycles_per_thread, heavy); // wrapped
+    }
+
+    #[test]
+    fn reset_reproduces_sequence() {
+        let mut app = bodytrack(11);
+        let a: Vec<u64> = (0..30).map(|_| app.next_frame().total_cycles().count()).collect();
+        app.reset();
+        let b: Vec<u64> = (0..30).map(|_| app.next_frame().total_cycles().count()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let p = |frames| Phase::balanced(frames, Cycles::from_mcycles(1), 0.1, SimTime::ZERO);
+        assert!(
+            PhasedBenchmarkModel::new("x", FRAME_33MS, 10, 4, vec![], 0).is_err(),
+            "no phases"
+        );
+        assert!(
+            PhasedBenchmarkModel::new("x", FRAME_33MS, 10, 4, vec![p(0)], 0).is_err(),
+            "zero-length phase"
+        );
+        assert!(
+            PhasedBenchmarkModel::new("x", FRAME_33MS, 0, 4, vec![p(1)], 0).is_err(),
+            "zero frames"
+        );
+        assert!(
+            PhasedBenchmarkModel::new("x", SimTime::ZERO, 10, 4, vec![p(1)], 0).is_err(),
+            "zero period"
+        );
+        let bad_weights = Phase {
+            weights: vec![1.0, 2.0],
+            ..p(1)
+        };
+        assert!(
+            PhasedBenchmarkModel::new("x", FRAME_33MS, 10, 4, vec![bad_weights], 0).is_err(),
+            "weight count mismatch"
+        );
+    }
+}

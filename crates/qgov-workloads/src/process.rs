@@ -1,0 +1,304 @@
+//! Seeded stochastic building blocks for workload variation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws a standard-normal sample via Box–Muller.
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.gen::<f64>();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// A first-order autoregressive process,
+/// `x' = mean + phi·(x − mean) + sigma·N(0,1)`, clamped to a range.
+///
+/// Models smoothly varying workload intensity such as video motion: the
+/// process is correlated frame-to-frame (persistence `phi`) with
+/// Gaussian innovations.
+///
+/// # Examples
+///
+/// ```
+/// use qgov_workloads::Ar1Process;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut p = Ar1Process::new(1.0, 0.9, 0.05, 0.5, 1.5);
+/// for _ in 0..100 {
+///     let v = p.step(&mut rng);
+///     assert!((0.5..=1.5).contains(&v));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ar1Process {
+    mean: f64,
+    phi: f64,
+    sigma: f64,
+    min: f64,
+    max: f64,
+    current: f64,
+}
+
+impl Ar1Process {
+    /// Creates an AR(1) process starting at its mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ phi < 1`, `sigma ≥ 0`, `min < max`, and the
+    /// mean lies inside `[min, max]`.
+    #[must_use]
+    pub fn new(mean: f64, phi: f64, sigma: f64, min: f64, max: f64) -> Self {
+        assert!((0.0..1.0).contains(&phi), "phi must lie in [0, 1)");
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(min < max, "min must be below max");
+        assert!(
+            (min..=max).contains(&mean),
+            "mean {mean} must lie within [{min}, {max}]"
+        );
+        Ar1Process {
+            mean,
+            phi,
+            sigma,
+            min,
+            max,
+            current: mean,
+        }
+    }
+
+    /// Current value without advancing.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.current
+    }
+
+    /// Advances one step and returns the new value.
+    pub fn step(&mut self, rng: &mut StdRng) -> f64 {
+        let innovation = self.sigma * gaussian(rng);
+        let next = self.mean + self.phi * (self.current - self.mean) + innovation;
+        self.current = next.clamp(self.min, self.max);
+        self.current
+    }
+
+    /// Jumps the process to `value` (clamped), e.g. on a scene change.
+    pub fn jump_to(&mut self, value: f64) {
+        self.current = value.clamp(self.min, self.max);
+    }
+
+    /// Restarts from the mean.
+    pub fn reset(&mut self) {
+        self.current = self.mean;
+    }
+}
+
+/// A discrete-time Markov chain over workload regimes.
+///
+/// Models abrupt mode switches such as video scene changes or benchmark
+/// phase transitions; each state carries a workload multiplier.
+///
+/// # Examples
+///
+/// ```
+/// use qgov_workloads::MarkovChain;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // Two regimes: calm (x1.0) and action (x1.6); sticky transitions.
+/// let chain = MarkovChain::new(
+///     vec![1.0, 1.6],
+///     vec![vec![0.95, 0.05], vec![0.10, 0.90]],
+/// ).unwrap();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut c = chain;
+/// let mut saw_action = false;
+/// for _ in 0..500 {
+///     if c.step(&mut rng) > 1.0 { saw_action = true; }
+/// }
+/// assert!(saw_action);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovChain {
+    values: Vec<f64>,
+    transitions: Vec<Vec<f64>>,
+    state: usize,
+}
+
+impl MarkovChain {
+    /// Creates a chain starting in state 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if dimensions are inconsistent, any row does not
+    /// sum to ≈ 1, or any probability is negative.
+    pub fn new(values: Vec<f64>, transitions: Vec<Vec<f64>>) -> Result<Self, crate::WorkloadError> {
+        let n = values.len();
+        if n == 0 {
+            return Err(crate::WorkloadError::InvalidConfig {
+                reason: "markov chain needs at least one state".into(),
+            });
+        }
+        if transitions.len() != n {
+            return Err(crate::WorkloadError::InvalidConfig {
+                reason: format!(
+                    "transition matrix has {} rows for {n} states",
+                    transitions.len()
+                ),
+            });
+        }
+        for (i, row) in transitions.iter().enumerate() {
+            if row.len() != n {
+                return Err(crate::WorkloadError::InvalidConfig {
+                    reason: format!("transition row {i} has {} entries for {n} states", row.len()),
+                });
+            }
+            if row.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+                return Err(crate::WorkloadError::InvalidConfig {
+                    reason: format!("transition row {i} has probabilities outside [0, 1]"),
+                });
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(crate::WorkloadError::InvalidConfig {
+                    reason: format!("transition row {i} sums to {sum}, expected 1"),
+                });
+            }
+        }
+        Ok(MarkovChain {
+            values,
+            transitions,
+            state: 0,
+        })
+    }
+
+    /// Current state index.
+    #[must_use]
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Current state's value without advancing.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.values[self.state]
+    }
+
+    /// Advances one step and returns the new state's value.
+    pub fn step(&mut self, rng: &mut StdRng) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        let row = &self.transitions[self.state];
+        let mut acc = 0.0;
+        for (i, &p) in row.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                self.state = i;
+                break;
+            }
+        }
+        self.values[self.state]
+    }
+
+    /// `true` if this step just entered a different state than `prev`.
+    #[must_use]
+    pub fn changed_from(&self, prev: usize) -> bool {
+        self.state != prev
+    }
+
+    /// Restarts in state 0.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ar1_stays_in_bounds_and_reverts_to_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = Ar1Process::new(10.0, 0.8, 1.0, 5.0, 15.0);
+        let mut sum = 0.0;
+        let n = 5000;
+        for _ in 0..n {
+            let v = p.step(&mut rng);
+            assert!((5.0..=15.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 10.0).abs() < 0.5, "sample mean {mean} far from 10");
+    }
+
+    #[test]
+    fn ar1_jump_and_reset() {
+        let mut p = Ar1Process::new(1.0, 0.9, 0.0, 0.0, 2.0);
+        p.jump_to(5.0);
+        assert_eq!(p.value(), 2.0, "jump clamps to range");
+        p.reset();
+        assert_eq!(p.value(), 1.0);
+    }
+
+    #[test]
+    fn ar1_zero_sigma_decays_deterministically() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = Ar1Process::new(0.0, 0.5, 0.0, -10.0, 10.0);
+        p.jump_to(8.0);
+        assert_eq!(p.step(&mut rng), 4.0);
+        assert_eq!(p.step(&mut rng), 2.0);
+        assert_eq!(p.step(&mut rng), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi")]
+    fn ar1_rejects_unstable_phi() {
+        let _ = Ar1Process::new(0.0, 1.0, 0.1, -1.0, 1.0);
+    }
+
+    #[test]
+    fn markov_respects_stationary_distribution() {
+        // Sticky two-state chain: stationary pi = (2/3, 1/3) for these
+        // transition probabilities.
+        let mut c = MarkovChain::new(
+            vec![0.0, 1.0],
+            vec![vec![0.9, 0.1], vec![0.2, 0.8]],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ones = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if c.step(&mut rng) > 0.5 {
+                ones += 1;
+            }
+        }
+        let frac = f64::from(ones) / f64::from(n);
+        assert!((frac - 1.0 / 3.0).abs() < 0.03, "occupancy {frac} far from 1/3");
+    }
+
+    #[test]
+    fn markov_rejects_bad_matrices() {
+        assert!(MarkovChain::new(vec![], vec![]).is_err());
+        assert!(MarkovChain::new(vec![1.0], vec![vec![0.5]]).is_err()); // row sums to 0.5
+        assert!(MarkovChain::new(vec![1.0, 2.0], vec![vec![1.0, 0.0]]).is_err()); // missing row
+        assert!(
+            MarkovChain::new(vec![1.0, 2.0], vec![vec![1.5, -0.5], vec![0.5, 0.5]]).is_err()
+        );
+    }
+
+    #[test]
+    fn markov_reset_returns_to_state_zero() {
+        let mut c = MarkovChain::new(
+            vec![0.0, 1.0],
+            vec![vec![0.0, 1.0], vec![0.0, 1.0]],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        c.step(&mut rng);
+        assert_eq!(c.state(), 1);
+        c.reset();
+        assert_eq!(c.state(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Run the RTM across the full PARSEC-like and SPLASH-2-like suites
+//! (the paper's Section III workloads beyond video and FFT) and report
+//! per-benchmark energy against the Oracle.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_suite
+//! ```
+
+use qgov::prelude::*;
+
+fn main() {
+    let frames = 600u64;
+    let seed = 5;
+
+    let mut apps: Vec<Box<dyn Application>> = Vec::new();
+    for bench in suites::all_parsec(seed) {
+        apps.push(Box::new(bench));
+    }
+    for bench in suites::all_splash2(seed) {
+        apps.push(Box::new(bench));
+    }
+    apps.push(Box::new(FftModel::fft_32fps(seed)));
+
+    println!("== RTM across the benchmark suites ({frames} frames each) ==\n");
+    let mut table = ComparisonTable::new(vec![
+        "Benchmark",
+        "RTM energy (J)",
+        "vs oracle",
+        "Perf",
+        "Misses",
+        "Converged at",
+    ]);
+
+    for mut app in apps {
+        let name = app.name().to_owned();
+        let (trace, bounds) = precharacterize(app.as_mut());
+        let platform_config = PlatformConfig::odroid_xu3_a15();
+        let opp_table = platform_config.opp_table.clone();
+
+        let mut rtm = RtmGovernor::new(
+            RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1),
+        )
+        .expect("valid config");
+        let rtm_report = run_experiment(
+            &mut rtm,
+            &mut trace.clone(),
+            platform_config.clone(),
+            frames,
+        )
+        .report;
+
+        let mut oracle = OracleGovernor::from_trace(&trace, &opp_table, 0.02);
+        let oracle_report =
+            run_experiment(&mut oracle, &mut trace.clone(), platform_config, frames).report;
+
+        table.add_row(vec![
+            name,
+            format!("{:.1}", rtm_report.total_energy().as_joules()),
+            format!("{:.2}", rtm_report.normalized_energy(&oracle_report)),
+            format!("{:.2}", rtm_report.normalized_performance()),
+            format!("{}", rtm_report.deadline_misses()),
+            rtm.converged_at()
+                .map_or_else(|| "-".into(), |e| e.to_string()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("low-variance benchmarks (swaptions, blackscholes, splash-fft) should sit");
+    println!("closest to the oracle; irregular ones (bodytrack, barnes) pay for variation.");
+}

@@ -1,0 +1,74 @@
+//! Video decoding under the RTM: watch the exploration → exploitation
+//! hand-over live, including the scripted scene change at frame 90 that
+//! Fig. 3 of the paper analyses.
+//!
+//! ```sh
+//! cargo run --release --example video_decoding
+//! ```
+
+use qgov::prelude::*;
+
+fn main() {
+    let frames = 240u64;
+    let mut app = VideoDecoderModel::mpeg4_svga_24fps(7).with_frames(frames);
+    let (trace, bounds) = precharacterize(&mut app);
+    let mut rtm = RtmGovernor::new(
+        RtmConfig::paper(7).with_workload_bounds(bounds.0, bounds.1),
+    )
+    .expect("paper configuration is valid");
+
+    let outcome = run_experiment(
+        &mut rtm,
+        &mut trace.clone(),
+        PlatformConfig::odroid_xu3_a15(),
+        frames,
+    );
+
+    println!("== MPEG4 SVGA @ 24 fps under the RTM ({frames} frames) ==\n");
+    println!("frame  phase        opp  pred Mcycles  actual Mcycles  err%   avg slack");
+    println!("{}", "-".repeat(76));
+    for r in rtm.history() {
+        // Print a readable sample: every 10th frame plus the scripted
+        // scene-change neighbourhood.
+        let near_scene = (88..=93).contains(&r.epoch);
+        if r.epoch % 10 != 0 && !near_scene {
+            continue;
+        }
+        let phase = if r.epsilon > 0.5 {
+            "explore"
+        } else if r.epsilon > 0.011 {
+            "transition"
+        } else {
+            "exploit"
+        };
+        println!(
+            "{:5}  {:<10} {:4}  {:12.1}  {:14.1}  {:5.1}  {:9.3}{}",
+            r.epoch,
+            phase,
+            r.action,
+            r.predicted_total_cycles / 1e6,
+            r.actual_total_cycles / 1e6,
+            r.misprediction() * 100.0,
+            r.avg_slack,
+            if near_scene { "   <- scene change window" } else { "" },
+        );
+    }
+
+    let report = &outcome.report;
+    println!("\nsummary:");
+    println!("  deadline misses: {} of {}", report.deadline_misses(), report.frames());
+    println!("  normalised performance (T_i/T_ref): {:.3}", report.normalized_performance());
+    println!("  total energy: {}", report.total_energy());
+    println!("  converged at epoch {:?}", rtm.converged_at());
+
+    // Reproduce Fig. 3's headline numbers.
+    let history = rtm.history();
+    let predicted: Vec<f64> = history[1..].iter().map(|r| r.predicted_total_cycles).collect();
+    let actual: Vec<f64> = history[1..].iter().map(|r| r.actual_total_cycles).collect();
+    let stats = MispredictionStats::from_series(&predicted, &actual);
+    println!(
+        "  misprediction: {:.1}% over frames 1-100, {:.1}% after (paper: ~8% and ~3%)",
+        stats.windowed_relative_error(0, 100) * 100.0,
+        stats.windowed_relative_error(100, stats.len()) * 100.0,
+    );
+}

@@ -1,0 +1,86 @@
+//! # qgov — machine learning for run-time energy optimisation in many-core systems
+//!
+//! A full Rust reproduction of **Biswas, Balagopal, Shafik, Al-Hashimi,
+//! Merrett, "Machine Learning for Run-Time Energy Optimisation in
+//! Many-Core Systems", DATE 2017**: a Q-learning run-time manager (RTM)
+//! that picks voltage–frequency settings per decision epoch from EWMA
+//! workload prediction and slack feedback, together with everything it
+//! runs on — a deterministic many-core platform simulator standing in
+//! for the paper's ODROID-XU3, frame-based application workload models,
+//! the baseline governors it is compared against, and the measurement
+//! plumbing that regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under
+//! stable module names and offers a [`prelude`] for experiments.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qgov::prelude::*;
+//!
+//! // The paper's platform: 4 A15 cores, 19 operating points.
+//! let platform_config = PlatformConfig::odroid_xu3_a15();
+//!
+//! // A video workload and the proposed RTM.
+//! let mut app = VideoDecoderModel::h264_football_15fps(42).with_frames(120);
+//! let mut rtm = RtmGovernor::new(RtmConfig::paper(42)).unwrap();
+//!
+//! // Run the experiment loop and inspect the outcome.
+//! let outcome = run_experiment(&mut rtm, &mut app, platform_config, 120);
+//! assert_eq!(outcome.report.frames(), 120);
+//! assert!(outcome.report.total_energy().as_joules() > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`units`] | `Freq`, `Volt`, `Power`, `Energy`, `SimTime`, `Cycles`, `Temp` newtypes |
+//! | [`rl`] | Q-table, predictors, discretisers, exploration policies, rewards, agent |
+//! | [`sim`] | OPP tables, CMOS power model, PMUs, sensors, DVFS, thermal RC, platform |
+//! | [`workloads`] | video / FFT / PARSEC-like / SPLASH-2-like / synthetic workloads, traces |
+//! | [`governors`] | the `Governor` trait, ondemand, conservative, oracle, Ge&Qiu, … |
+//! | [`core`] | the paper's RTM: `RtmGovernor` + `RtmConfig` |
+//! | [`metrics`] | run reports, misprediction stats, tables, series |
+//! | [`bench`] | the experiment harness and per-table experiment functions |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use qgov_bench as bench;
+pub use qgov_core as core;
+pub use qgov_governors as governors;
+pub use qgov_metrics as metrics;
+pub use qgov_rl as rl;
+pub use qgov_sim as sim;
+pub use qgov_units as units;
+pub use qgov_workloads as workloads;
+
+pub mod prelude {
+    //! The types almost every experiment needs.
+
+    pub use qgov_bench::experiments::{
+        run_fig3, run_shared_table_ablation, run_smoothing_ablation, run_state_levels_ablation,
+        run_table1, run_table2, run_table3,
+    };
+    pub use qgov_bench::harness::{precharacterize, run_experiment, ExperimentOutcome};
+    pub use qgov_core::{ExplorationKind, RtmConfig, RtmGovernor, StateKind};
+    pub use qgov_governors::{
+        ConservativeGovernor, EpochObservation, GeQiuConfig, GeQiuGovernor, Governor,
+        GovernorContext, OndemandGovernor, OracleGovernor, PerformanceGovernor, SchedutilGovernor,
+        PowersaveGovernor, SlackTracker, UserspaceGovernor, VfDecision,
+    };
+    pub use qgov_metrics::{ComparisonTable, MispredictionStats, RunReport, Series};
+    pub use qgov_rl::{DecayingEpsilon, EpdPolicy, EwmaPredictor, Predictor, QTable, SlackReward};
+    pub use qgov_sim::{
+        DvfsConfig, Opp, OppTable, Platform, PlatformConfig, SensorConfig, ThermalConfig,
+        VfDomain, WorkSlice,
+    };
+    pub use qgov_units::{Cycles, Energy, Freq, Power, SimTime, Temp, Volt};
+    pub use qgov_workloads::{
+        suites, Application, CompositeWorkload, FftModel, FrameDemand, PhasedBenchmarkModel,
+        SyntheticWorkload,
+        ThreadDemand, VideoDecoderModel, WorkloadTrace,
+    };
+}

@@ -1,0 +1,126 @@
+//! The paper's future work — "multiple concurrently executing
+//! applications" — exercised end to end: two applications share the
+//! cluster under one RTM.
+
+use qgov::prelude::*;
+
+fn composite(seed: u64, frames: u64) -> CompositeWorkload {
+    // Two 2-thread applications sharing the 4-core cluster: a steady
+    // filter pipeline and a bursty tracker.
+    let steady = SyntheticWorkload::constant(
+        "filter",
+        Cycles::from_mcycles(70),
+        SimTime::from_ms(40),
+        frames,
+        2,
+        seed,
+    )
+    .with_noise(0.03);
+    let bursty = SyntheticWorkload::square(
+        "tracker",
+        Cycles::from_mcycles(40),
+        2.2,
+        25,
+        SimTime::from_ms(40),
+        frames,
+        2,
+        seed + 1,
+    )
+    .with_noise(0.08);
+    CompositeWorkload::new(vec![Box::new(steady), Box::new(bursty)]).unwrap()
+}
+
+#[test]
+fn rtm_manages_two_concurrent_applications() {
+    let frames = 500;
+    let mut app = composite(3, frames);
+    let (trace, bounds) = precharacterize(&mut app);
+    let mut rtm = RtmGovernor::new(
+        RtmConfig::paper(3).with_workload_bounds(bounds.0, bounds.1),
+    )
+    .unwrap();
+    let report = run_experiment(
+        &mut rtm,
+        &mut trace.clone(),
+        PlatformConfig::odroid_xu3_a15(),
+        frames,
+    )
+    .report;
+
+    assert_eq!(report.frames(), frames);
+    // The converged RTM holds the shared deadline for both apps in the
+    // vast majority of epochs.
+    let tail_misses = report
+        .frame_stats()
+        .iter()
+        .skip(300)
+        .filter(|f| !f.met_deadline)
+        .count();
+    assert!(
+        tail_misses < 30,
+        "converged RTM should mostly hold the composite deadline ({tail_misses} late misses)"
+    );
+}
+
+#[test]
+fn composite_beats_ondemand_like_single_apps_do() {
+    let frames = 600;
+    let mut app = composite(7, frames);
+    let (trace, bounds) = precharacterize(&mut app);
+
+    let mut ondemand = OndemandGovernor::linux_default();
+    let od = run_experiment(
+        &mut ondemand,
+        &mut trace.clone(),
+        PlatformConfig::odroid_xu3_a15(),
+        frames,
+    )
+    .report;
+
+    let mut rtm = RtmGovernor::new(
+        RtmConfig::paper(7).with_workload_bounds(bounds.0, bounds.1),
+    )
+    .unwrap();
+    let rt = run_experiment(
+        &mut rtm,
+        &mut trace.clone(),
+        PlatformConfig::odroid_xu3_a15(),
+        frames,
+    )
+    .report;
+
+    assert!(
+        rt.total_energy() < od.total_energy(),
+        "the energy advantage must carry over to concurrent apps ({} vs {})",
+        rt.total_energy(),
+        od.total_energy()
+    );
+}
+
+#[test]
+fn per_core_share_state_distinguishes_asymmetric_members() {
+    // With clearly asymmetric members, the Eq. 7 normalised-share state
+    // must visit more than one workload level.
+    let frames = 300;
+    let mut app = composite(11, frames);
+    let (trace, bounds) = precharacterize(&mut app);
+    let mut config = RtmConfig::paper(11).with_workload_bounds(bounds.0, bounds.1);
+    config.state_kind = StateKind::PerCoreShare;
+    let mut rtm = RtmGovernor::new(config).unwrap();
+    run_experiment(
+        &mut rtm,
+        &mut trace.clone(),
+        PlatformConfig::odroid_xu3_a15(),
+        frames,
+    );
+    let mapper = rtm.state_mapper().expect("mapper built");
+    let workload_levels: std::collections::BTreeSet<usize> = rtm
+        .history()
+        .iter()
+        .map(|r| r.state / mapper.slack_levels())
+        .collect();
+    assert!(
+        workload_levels.len() > 1,
+        "asymmetric members must exercise several share levels: {workload_levels:?}"
+    );
+}
