@@ -6,11 +6,11 @@
 //! Run with `cargo bench -p qgov-bench --bench micro`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qgov_rl::Discretizer as _;
 use qgov_rl::{
     ActionContext, EpdPolicy, EwmaPredictor, ExplorationPolicy, Predictor, QTable,
     UniformDiscretizer,
 };
-use qgov_rl::Discretizer as _;
 use qgov_sim::{Platform, PlatformConfig, SensorConfig, WorkSlice};
 use qgov_units::{Cycles, SimTime};
 use rand::rngs::StdRng;
@@ -109,8 +109,7 @@ fn bench_full_decision_epoch(c: &mut Criterion) {
     use qgov_governors::{EpochObservation, Governor, GovernorContext};
 
     c.bench_function("rtm_full_decision_epoch", |b| {
-        let mut rtm =
-            RtmGovernor::new(RtmConfig::paper(1).with_workload_bounds(1e7, 1e9)).unwrap();
+        let mut rtm = RtmGovernor::new(RtmConfig::paper(1).with_workload_bounds(1e7, 1e9)).unwrap();
         let mut platform = Platform::new(PlatformConfig {
             sensor: SensorConfig::ideal(),
             ..PlatformConfig::odroid_xu3_a15()

@@ -79,10 +79,9 @@ pub fn run_table1(seed: u64, frames: u64) -> Table1Result {
         reports.push(run_experiment(&mut gov, &mut replay, platform_config.clone(), frames).report);
     }
     {
-        let mut gov = RtmGovernor::new(
-            RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1),
-        )
-        .expect("paper config is valid");
+        let mut gov =
+            RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
+                .expect("paper config is valid");
         let mut replay = trace.clone();
         reports.push(run_experiment(&mut gov, &mut replay, platform_config.clone(), frames).report);
     }
@@ -247,10 +246,8 @@ pub fn run_table3(seed: u64, frames: u64) -> Table3Result {
     let mut app = VideoDecoderModel::new(params).expect("valid params");
     let (trace, bounds) = precharacterize(&mut app);
 
-    let mut rtm = RtmGovernor::new(
-        RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1),
-    )
-    .expect("valid config");
+    let mut rtm = RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
+        .expect("valid config");
     {
         let mut replay = trace.clone();
         run_experiment(
@@ -330,10 +327,8 @@ pub struct Fig3Result {
 pub fn run_fig3(seed: u64, frames: u64) -> Fig3Result {
     let mut app = VideoDecoderModel::mpeg4_svga_24fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
-    let mut rtm = RtmGovernor::new(
-        RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1),
-    )
-    .expect("valid config");
+    let mut rtm = RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
+        .expect("valid config");
     let mut replay = trace.clone();
     run_experiment(
         &mut rtm,
@@ -436,8 +431,8 @@ fn run_rtm_vs_oracle(
     bounds: (f64, f64),
     frames: u64,
 ) -> (RunReport, Option<u64>, u64) {
-    let mut rtm = RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1))
-        .expect("valid config");
+    let mut rtm =
+        RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1)).expect("valid config");
     let mut replay = trace.clone();
     let report = run_experiment(
         &mut rtm,
@@ -477,8 +472,7 @@ pub fn run_state_levels_ablation(seed: u64, frames: u64) -> AblationResult {
         let mut config = RtmConfig::paper(seed);
         config.workload_levels = n;
         config.slack_levels = n;
-        let (report, converged, explorations) =
-            run_rtm_vs_oracle(config, &trace, bounds, frames);
+        let (report, converged, explorations) = run_rtm_vs_oracle(config, &trace, bounds, frames);
         rows.push(AblationRow {
             label: format!("N = {n} ({} states)", n * n),
             normalized_energy: report.normalized_energy(&oracle),
@@ -505,10 +499,8 @@ pub fn run_smoothing_ablation(seed: u64, frames: u64) -> AblationResult {
     for gamma in [0.2, 0.4, 0.6, 0.8, 0.95] {
         let mut config = RtmConfig::paper(seed);
         config.smoothing = gamma;
-        let mut rtm = RtmGovernor::new(
-            config.with_workload_bounds(bounds.0, bounds.1),
-        )
-        .expect("valid config");
+        let mut rtm = RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1))
+            .expect("valid config");
         let mut replay = trace.clone();
         let report = run_experiment(
             &mut rtm,
@@ -519,7 +511,10 @@ pub fn run_smoothing_ablation(seed: u64, frames: u64) -> AblationResult {
         .report;
         // Misprediction over the post-warm-up half of the run.
         let history = rtm.history();
-        let predicted: Vec<f64> = history[1..].iter().map(|r| r.predicted_total_cycles).collect();
+        let predicted: Vec<f64> = history[1..]
+            .iter()
+            .map(|r| r.predicted_total_cycles)
+            .collect();
         let actual: Vec<f64> = history[1..].iter().map(|r| r.actual_total_cycles).collect();
         let stats = MispredictionStats::from_series(&predicted, &actual);
         rows.push(AblationRow {
@@ -563,8 +558,7 @@ pub fn run_shared_table_ablation(seed: u64, frames: u64) -> AblationResult {
     {
         let mut config = RtmConfig::paper(seed);
         config.state_kind = StateKind::PerCoreShare;
-        let (report, converged, explorations) =
-            run_rtm_vs_oracle(config, &trace, bounds, frames);
+        let (report, converged, explorations) = run_rtm_vs_oracle(config, &trace, bounds, frames);
         rows.push(AblationRow {
             label: "Shared Q-table, round-robin per-core (Eq. 7)".into(),
             normalized_energy: report.normalized_energy(&oracle),
@@ -608,7 +602,11 @@ mod tests {
     fn table1_rows_are_complete_and_normalised() {
         let result = run_table1(1, 300);
         assert_eq!(result.rows.len(), 4);
-        let oracle = result.rows.iter().find(|r| r.method.contains("Oracle")).unwrap();
+        let oracle = result
+            .rows
+            .iter()
+            .find(|r| r.method.contains("Oracle"))
+            .unwrap();
         assert!((oracle.normalized_energy - 1.0).abs() < 1e-9);
         for row in &result.rows {
             assert!(row.normalized_energy >= 0.99, "{row:?}");

@@ -175,7 +175,10 @@ mod tests {
     fn powersave_misses_what_performance_meets() {
         let mut gov = PowersaveGovernor::new();
         let outcome = run_experiment(&mut gov, &mut medium_app(50), quiet_config(), 50);
-        assert!(outcome.report.miss_rate() > 0.9, "200 MHz cannot hold 640 MHz of work");
+        assert!(
+            outcome.report.miss_rate() > 0.9,
+            "200 MHz cannot hold 640 MHz of work"
+        );
         assert!(outcome.report.normalized_performance() > 1.0);
     }
 
@@ -203,19 +206,22 @@ mod tests {
         let mut gov = OndemandGovernor::linux_default();
         let outcome = run_experiment(&mut gov, &mut medium_app(200), quiet_config(), 200);
         let mean_opp = outcome.report.mean_opp();
-        assert!(mean_opp > 1.0, "ondemand should leave the bottom ({mean_opp:.1})");
+        assert!(
+            mean_opp > 1.0,
+            "ondemand should leave the bottom ({mean_opp:.1})"
+        );
         // Proportional scaling on a 60 %-utilisation workload must not
         // pin the top.
-        assert!(mean_opp < 18.0, "ondemand should not pin the top ({mean_opp:.1})");
+        assert!(
+            mean_opp < 18.0,
+            "ondemand should not pin the top ({mean_opp:.1})"
+        );
     }
 
     #[test]
     fn surplus_threads_fold_onto_last_core() {
-        let demand = qgov_workloads::FrameDemand::split_evenly(
-            Cycles::from_mcycles(60),
-            6,
-            SimTime::ZERO,
-        );
+        let demand =
+            qgov_workloads::FrameDemand::split_evenly(Cycles::from_mcycles(60), 6, SimTime::ZERO);
         let work = to_work_slices(&demand, 4);
         assert_eq!(work.len(), 4);
         let total: u64 = work.iter().map(|w| w.cpu_cycles.count()).sum();

@@ -132,19 +132,26 @@ impl RtmGovernor {
     /// Panics if called before [`Governor::init`].
     #[must_use]
     pub fn q_table(&self) -> &QTable {
-        self.agent.as_ref().expect("init() builds the agent").q_table()
+        self.agent
+            .as_ref()
+            .expect("init() builds the agent")
+            .q_table()
     }
 
     /// Cumulative exploratory (non-greedy) selections.
     #[must_use]
     pub fn exploration_count(&self) -> u64 {
-        self.agent.as_ref().map_or(0, QLearningAgent::exploration_count)
+        self.agent
+            .as_ref()
+            .map_or(0, QLearningAgent::exploration_count)
     }
 
     /// Explorations frozen at first convergence — the Table II measure.
     #[must_use]
     pub fn explorations_to_convergence(&self) -> Option<u64> {
-        self.agent.as_ref().and_then(QLearningAgent::explorations_to_convergence)
+        self.agent
+            .as_ref()
+            .and_then(QLearningAgent::explorations_to_convergence)
     }
 
     /// First convergence epoch — the Table III learning-overhead
@@ -173,7 +180,9 @@ impl RtmGovernor {
     /// `true` once ε has decayed to its floor (exploitation phase).
     #[must_use]
     pub fn is_exploitation(&self) -> bool {
-        self.agent.as_ref().is_some_and(QLearningAgent::is_exploitation)
+        self.agent
+            .as_ref()
+            .is_some_and(QLearningAgent::is_exploitation)
     }
 
     /// The current average slack ratio `L`.
@@ -258,7 +267,10 @@ impl Governor for RtmGovernor {
         let frame_slack = obs.frame.frame_slack().clamp(-1.0, 1.0);
         self.slack.observe(frame_slack);
         let l = self.slack.average();
-        let reward = self.config.reward.reward(frame_slack, self.last_frame_slack);
+        let reward = self
+            .config
+            .reward
+            .reward(frame_slack, self.last_frame_slack);
         self.last_frame_slack = frame_slack;
 
         // Workload observation and EWMA prediction (Eq. 1).
@@ -273,8 +285,7 @@ impl Governor for RtmGovernor {
         for (p, &a) in self.predictors.iter_mut().zip(&actual_per_core) {
             p.observe(a);
         }
-        let predicted_per_core: Vec<f64> =
-            self.predictors.iter().map(Predictor::predict).collect();
+        let predicted_per_core: Vec<f64> = self.predictors.iter().map(Predictor::predict).collect();
         let predicted_total: f64 = predicted_per_core.iter().sum();
         self.last_prediction_total = predicted_total;
 
@@ -345,9 +356,7 @@ impl Governor for RtmGovernor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qgov_sim::{
-        DvfsConfig, Platform, PlatformConfig, SensorConfig, WorkSlice,
-    };
+    use qgov_sim::{DvfsConfig, Platform, PlatformConfig, SensorConfig, WorkSlice};
     use qgov_units::Cycles;
     use qgov_workloads::{Application, SyntheticWorkload};
 
@@ -370,11 +379,8 @@ mod tests {
         tail: u64,
     ) -> (RtmGovernor, u64, u64) {
         let mut platform = platform();
-        let ctx = GovernorContext::new(
-            platform.opp_table().clone(),
-            platform.cores(),
-            app.period(),
-        );
+        let ctx =
+            GovernorContext::new(platform.opp_table().clone(), platform.cores(), app.period());
         let first = rtm.init(&ctx);
         platform.set_cluster_opp(first.resolve_cluster(platform.current_opp()));
 
@@ -428,10 +434,14 @@ mod tests {
         );
         assert!(rtm.is_exploitation(), "epsilon should have decayed");
         // It must NOT have settled at the top OPP: that wastes energy.
-        let last_actions: Vec<usize> =
-            rtm.history().iter().rev().take(50).map(|r| r.action).collect();
-        let avg_action: f64 =
-            last_actions.iter().sum::<usize>() as f64 / last_actions.len() as f64;
+        let last_actions: Vec<usize> = rtm
+            .history()
+            .iter()
+            .rev()
+            .take(50)
+            .map(|r| r.action)
+            .collect();
+        let avg_action: f64 = last_actions.iter().sum::<usize>() as f64 / last_actions.len() as f64;
         assert!(
             avg_action < 17.0,
             "RTM should not race at the top OPP (avg action {avg_action:.1})"
@@ -523,7 +533,10 @@ mod tests {
         config.state_kind = StateKind::PerCoreShare;
         let rtm = RtmGovernor::new(config).unwrap();
         let (_rtm, met, _) = drive(rtm, &mut app, 200, 50);
-        assert!(met >= 40, "PerCoreShare formulation must still work (met {met})");
+        assert!(
+            met >= 40,
+            "PerCoreShare formulation must still work (met {met})"
+        );
     }
 
     #[test]

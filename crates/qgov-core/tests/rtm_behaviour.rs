@@ -17,11 +17,7 @@ fn drive(rtm: &mut RtmGovernor, app: &mut dyn Application, frames: u64) -> Vec<(
         ..PlatformConfig::odroid_xu3_a15()
     })
     .unwrap();
-    let ctx = GovernorContext::new(
-        platform.opp_table().clone(),
-        platform.cores(),
-        app.period(),
-    );
+    let ctx = GovernorContext::new(platform.opp_table().clone(), platform.cores(), app.period());
     let first = rtm.init(&ctx);
     platform.set_cluster_opp(first.resolve_cluster(platform.current_opp()));
     app.reset();
@@ -31,10 +27,9 @@ fn drive(rtm: &mut RtmGovernor, app: &mut dyn Application, frames: u64) -> Vec<(
         let demand = app.next_frame();
         let work: Vec<WorkSlice> = (0..platform.cores())
             .map(|c| {
-                demand
-                    .threads
-                    .get(c)
-                    .map_or(WorkSlice::IDLE, |t| WorkSlice::new(t.cpu_cycles, t.mem_time))
+                demand.threads.get(c).map_or(WorkSlice::IDLE, |t| {
+                    WorkSlice::new(t.cpu_cycles, t.mem_time)
+                })
             })
             .collect();
         let frame = platform.run_frame(&work, app.period()).unwrap();
@@ -67,7 +62,11 @@ fn adapts_to_a_step_workload_change() {
     let log = drive(&mut rtm, &mut app, 400);
 
     let mean_opp = |range: std::ops::Range<usize>| -> f64 {
-        log[range.clone()].iter().map(|&(o, _)| o as f64).sum::<f64>() / range.len() as f64
+        log[range.clone()]
+            .iter()
+            .map(|&(o, _)| o as f64)
+            .sum::<f64>()
+            / range.len() as f64
     };
     let before = mean_opp(100..150);
     let after = mean_opp(300..400);
@@ -182,7 +181,10 @@ fn auto_calibration_matches_offline_bounds_eventually() {
 
     let mut auto_rtm = RtmGovernor::new(RtmConfig::paper(2)).unwrap();
     let auto_log = drive(&mut auto_rtm, &mut make_app(), 400);
-    assert!(auto_rtm.state_mapper().is_some(), "calibration must complete");
+    assert!(
+        auto_rtm.state_mapper().is_some(),
+        "calibration must complete"
+    );
 
     let mut offline_rtm =
         RtmGovernor::new(RtmConfig::paper(2).with_workload_bounds(1e8, 1.4e8)).unwrap();

@@ -128,10 +128,16 @@ mod tests {
         let mut g = ConservativeGovernor::linux_default();
         g.init(&ctx());
         let hot = frame_with_load(0.95);
-        let first = g.decide(&EpochObservation { frame: &hot, epoch: 0 });
+        let first = g.decide(&EpochObservation {
+            frame: &hot,
+            epoch: 0,
+        });
         // One 5 % step of 2000 MHz = 100 MHz: from 200 to 300 MHz (idx 1).
         assert_eq!(first, VfDecision::Cluster(1));
-        let second = g.decide(&EpochObservation { frame: &hot, epoch: 1 });
+        let second = g.decide(&EpochObservation {
+            frame: &hot,
+            epoch: 1,
+        });
         assert_eq!(second, VfDecision::Cluster(2));
     }
 
@@ -141,10 +147,16 @@ mod tests {
         g.init(&ctx());
         let hot = frame_with_load(0.95);
         for e in 0..18 {
-            g.decide(&EpochObservation { frame: &hot, epoch: e });
+            g.decide(&EpochObservation {
+                frame: &hot,
+                epoch: e,
+            });
         }
         let cold = frame_with_load(0.05);
-        let d = g.decide(&EpochObservation { frame: &cold, epoch: 20 });
+        let d = g.decide(&EpochObservation {
+            frame: &cold,
+            epoch: 20,
+        });
         // 18 hot epochs climbed 100 MHz each: 200 -> 2000 MHz (index 18);
         // one cold epoch steps 100 MHz back down to 1900 MHz.
         assert_eq!(d, VfDecision::Cluster(17), "one step down from 18");
@@ -156,7 +168,10 @@ mod tests {
         g.init(&ctx());
         let mid = frame_with_load(0.5);
         assert_eq!(
-            g.decide(&EpochObservation { frame: &mid, epoch: 0 }),
+            g.decide(&EpochObservation {
+                frame: &mid,
+                epoch: 0
+            }),
             VfDecision::Cluster(0)
         );
     }
@@ -167,16 +182,25 @@ mod tests {
         g.init(&ctx());
         let cold = frame_with_load(0.01);
         assert_eq!(
-            g.decide(&EpochObservation { frame: &cold, epoch: 0 }),
+            g.decide(&EpochObservation {
+                frame: &cold,
+                epoch: 0
+            }),
             VfDecision::Cluster(0),
             "cannot go below the bottom"
         );
         let hot = frame_with_load(1.0);
         for e in 0..40 {
-            g.decide(&EpochObservation { frame: &hot, epoch: e });
+            g.decide(&EpochObservation {
+                frame: &hot,
+                epoch: e,
+            });
         }
         assert_eq!(
-            g.decide(&EpochObservation { frame: &hot, epoch: 41 }),
+            g.decide(&EpochObservation {
+                frame: &hot,
+                epoch: 41
+            }),
             VfDecision::Cluster(18),
             "cannot go above the top"
         );

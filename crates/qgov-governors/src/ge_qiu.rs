@@ -18,11 +18,11 @@
 //!   from scratch.
 
 use crate::{EpochObservation, Governor, GovernorContext, SlackTracker, VfDecision};
+use qgov_rl::Discretizer as _;
 use qgov_rl::{
     ActionSpace, AgentConfig, DecayingEpsilon, QLearningAgent, RewardFn, SlackReward,
     UniformDiscretizer, UniformPolicy,
 };
-use qgov_rl::Discretizer as _;
 use qgov_units::SimTime;
 
 /// Configuration of the per-core learners.
@@ -121,7 +121,10 @@ impl GeQiuGovernor {
     /// Total exploratory selections across all cores.
     #[must_use]
     pub fn exploration_count(&self) -> u64 {
-        self.agents.iter().map(QLearningAgent::exploration_count).sum()
+        self.agents
+            .iter()
+            .map(QLearningAgent::exploration_count)
+            .sum()
     }
 
     /// Length of the exploration phase in decision epochs (how long the
@@ -156,7 +159,10 @@ impl Governor for GeQiuGovernor {
                     self.config.levels,
                     action_space.clone(),
                     Box::new(UniformPolicy::new()),
-                    self.config.seed.wrapping_add(core as u64).wrapping_mul(0x9E37_79B9),
+                    self.config
+                        .seed
+                        .wrapping_add(core as u64)
+                        .wrapping_mul(0x9E37_79B9),
                 )
             })
             .collect();

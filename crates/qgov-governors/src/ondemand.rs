@@ -49,7 +49,10 @@ impl OndemandGovernor {
             up_threshold.is_finite() && up_threshold > 0.0 && up_threshold <= 1.0,
             "up_threshold must lie in (0, 1], got {up_threshold}"
         );
-        assert!(sampling_down_factor >= 1, "sampling_down_factor must be >= 1");
+        assert!(
+            sampling_down_factor >= 1,
+            "sampling_down_factor must be >= 1"
+        );
         OndemandGovernor {
             up_threshold,
             sampling_down_factor,
@@ -158,7 +161,10 @@ mod tests {
         g.init(&ctx());
         let f = frame_with_utils(&[0.2, 0.95, 0.1, 0.3], 40);
         assert_eq!(
-            g.decide(&EpochObservation { frame: &f, epoch: 0 }),
+            g.decide(&EpochObservation {
+                frame: &f,
+                epoch: 0
+            }),
             VfDecision::Cluster(18),
             "busiest CPU above threshold must max out"
         );
@@ -171,7 +177,10 @@ mod tests {
         let f = frame_with_utils(&[0.5, 0.4, 0.3, 0.2], 40);
         // target = 2000 MHz * 0.5 = 1000 MHz -> index 8.
         assert_eq!(
-            g.decide(&EpochObservation { frame: &f, epoch: 0 }),
+            g.decide(&EpochObservation {
+                frame: &f,
+                epoch: 0
+            }),
             VfDecision::Cluster(8)
         );
     }
@@ -183,7 +192,10 @@ mod tests {
         let f = frame_with_utils(&[0.01, 0.0, 0.0, 0.0], 40);
         // target = 20 MHz -> lowest point (200 MHz).
         assert_eq!(
-            g.decide(&EpochObservation { frame: &f, epoch: 0 }),
+            g.decide(&EpochObservation {
+                frame: &f,
+                epoch: 0
+            }),
             VfDecision::Cluster(0)
         );
     }
@@ -195,20 +207,32 @@ mod tests {
         let hot = frame_with_utils(&[1.0, 1.0, 1.0, 1.0], 40);
         let cold = frame_with_utils(&[0.1, 0.1, 0.1, 0.1], 40);
         assert_eq!(
-            g.decide(&EpochObservation { frame: &hot, epoch: 0 }),
+            g.decide(&EpochObservation {
+                frame: &hot,
+                epoch: 0
+            }),
             VfDecision::Cluster(18)
         );
         // Two more epochs of holding despite low load...
         assert_eq!(
-            g.decide(&EpochObservation { frame: &cold, epoch: 1 }),
+            g.decide(&EpochObservation {
+                frame: &cold,
+                epoch: 1
+            }),
             VfDecision::Cluster(18)
         );
         assert_eq!(
-            g.decide(&EpochObservation { frame: &cold, epoch: 2 }),
+            g.decide(&EpochObservation {
+                frame: &cold,
+                epoch: 2
+            }),
             VfDecision::Cluster(18)
         );
         // ...then scaling down resumes.
-        let down = g.decide(&EpochObservation { frame: &cold, epoch: 3 });
+        let down = g.decide(&EpochObservation {
+            frame: &cold,
+            epoch: 3,
+        });
         assert_ne!(down, VfDecision::Cluster(18));
     }
 

@@ -163,7 +163,10 @@ mod tests {
         // util 0.4: target = 1.25 * 2000 * 0.4 = 1000 MHz -> index 8.
         let f = frame_with_load(0.4);
         assert_eq!(
-            g.decide(&EpochObservation { frame: &f, epoch: 0 }),
+            g.decide(&EpochObservation {
+                frame: &f,
+                epoch: 0
+            }),
             VfDecision::Cluster(8)
         );
     }
@@ -174,7 +177,10 @@ mod tests {
         g.init(&ctx());
         let f = frame_with_load(0.95);
         assert_eq!(
-            g.decide(&EpochObservation { frame: &f, epoch: 0 }),
+            g.decide(&EpochObservation {
+                frame: &f,
+                epoch: 0
+            }),
             VfDecision::Cluster(18)
         );
     }
@@ -185,14 +191,23 @@ mod tests {
         g.init(&ctx());
         // Settle low first (down-rate limit 1 epoch): request 0.1 twice.
         let low = frame_with_load(0.1);
-        let first = g.decide(&EpochObservation { frame: &low, epoch: 0 });
+        let first = g.decide(&EpochObservation {
+            frame: &low,
+            epoch: 0,
+        });
         assert_eq!(first, VfDecision::Cluster(18), "held for one epoch");
         // util 0.1: target = 1.25 * 2000 * 0.1 = 250 MHz -> 300 MHz (index 1).
-        let second = g.decide(&EpochObservation { frame: &low, epoch: 1 });
+        let second = g.decide(&EpochObservation {
+            frame: &low,
+            epoch: 1,
+        });
         assert_eq!(second, VfDecision::Cluster(1), "honoured after the limit");
         // A load spike scales up instantly.
         let high = frame_with_load(0.9);
-        let third = g.decide(&EpochObservation { frame: &high, epoch: 2 });
+        let third = g.decide(&EpochObservation {
+            frame: &high,
+            epoch: 2,
+        });
         assert_eq!(third, VfDecision::Cluster(18));
     }
 
@@ -203,7 +218,10 @@ mod tests {
         let low = frame_with_load(0.05);
         // 1.25 * 2000 * 0.05 = 125 MHz -> lowest point.
         assert_eq!(
-            g.decide(&EpochObservation { frame: &low, epoch: 0 }),
+            g.decide(&EpochObservation {
+                frame: &low,
+                epoch: 0
+            }),
             VfDecision::Cluster(0)
         );
     }

@@ -73,7 +73,10 @@ impl MispredictionStats {
     /// Panics if the range is out of bounds or empty.
     #[must_use]
     pub fn windowed_relative_error(&self, start: usize, end: usize) -> f64 {
-        assert!(start < end && end <= self.len(), "invalid window [{start}, {end})");
+        assert!(
+            start < end && end <= self.len(),
+            "invalid window [{start}, {end})"
+        );
         let mut abs_err = OnlineStats::new();
         let mut workload = OnlineStats::new();
         for i in start..end {

@@ -236,12 +236,24 @@ impl QLearningAgent {
         // (1) + (2): pay-off and Bellman update for the previous pair.
         if let Some((prev_state, prev_action)) = self.last {
             let greedy_before = self.q.greedy_action(prev_state);
-            self.q
-                .update(prev_state, prev_action, reward, state, self.alpha, self.discount);
+            self.q.update(
+                prev_state,
+                prev_action,
+                reward,
+                state,
+                self.alpha,
+                self.discount,
+            );
             let changed = self.q.greedy_action(prev_state) != greedy_before;
-            self.tracker.record_epoch(changed);
-            if self.explorations_at_convergence.is_none() && self.tracker.converged_at().is_some()
-            {
+            // A quiet greedy policy during the exploration phase is not
+            // convergence — early on, updates have not yet differentiated
+            // the actions, so the greedy choice sits still for trivial
+            // reasons. Only a quiet window *after* ε has decayed to its
+            // exploitation floor counts (this is also what freezes the
+            // Table II exploration count at a meaningful moment).
+            let settled = self.epsilon.is_exploitation();
+            self.tracker.record_epoch(changed || !settled);
+            if self.explorations_at_convergence.is_none() && self.tracker.converged_at().is_some() {
                 self.explorations_at_convergence = Some(self.explorations);
             }
         }

@@ -97,20 +97,29 @@ impl DecayingEpsilon {
         self.current = self.initial;
     }
 
-    /// Returns `true` once ε has reached its floor — the agent is in the
-    /// paper's "exploitation phase".
+    /// Exploration probabilities below this are treated as "at the
+    /// floor" even when the configured floor is lower (a floor of
+    /// exactly zero is only reached asymptotically, which would make
+    /// [`is_exploitation`](Self::is_exploitation) unreachable and
+    /// [`epochs_to_floor`](Self::epochs_to_floor) saturate).
+    const NEGLIGIBLE: f64 = 1e-6;
+
+    /// Returns `true` once ε has reached its floor (or decayed to a
+    /// negligible value) — the agent is in the paper's "exploitation
+    /// phase".
     #[must_use]
     pub fn is_exploitation(&self) -> bool {
-        self.current <= self.floor
+        self.current <= self.floor.max(Self::NEGLIGIBLE)
     }
 
     /// How many epochs until ε first reaches the floor (analytical).
     #[must_use]
     pub fn epochs_to_floor(&self) -> u64 {
-        if self.initial <= self.floor {
+        let target = self.floor.max(Self::NEGLIGIBLE);
+        if self.initial <= target {
             return 0;
         }
-        ((self.initial / self.floor).ln() / self.decay_rate).ceil() as u64
+        ((self.initial / target).ln() / self.decay_rate).ceil() as u64
     }
 }
 

@@ -373,7 +373,10 @@ mod tests {
     fn predictors_report_names() {
         assert_eq!(EwmaPredictor::paper().name(), "ewma");
         assert_eq!(LastValuePredictor::new().name(), "last-value");
-        assert_eq!(MovingAveragePredictor::new(3).unwrap().name(), "moving-average");
+        assert_eq!(
+            MovingAveragePredictor::new(3).unwrap().name(),
+            "moving-average"
+        );
         assert_eq!(WmaPredictor::new(3).unwrap().name(), "wma");
     }
 

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use qgov_rl::{
     sample_weighted, ActionContext, Discretizer, EpdPolicy, EwmaPredictor, ExplorationPolicy,
-    Predictor, QTable, QuantileDiscretizer, SlackReward, RewardFn, UniformDiscretizer,
+    Predictor, QTable, QuantileDiscretizer, RewardFn, SlackReward, UniformDiscretizer,
     UniformPolicy,
 };
 use rand::rngs::StdRng;

@@ -288,9 +288,13 @@ mod tests {
 
     #[test]
     fn free_config_has_zero_latency() {
-        let mut vf =
-            VfController::new(OppTable::odroid_xu3_a15(), VfDomain::PerCluster, 4, DvfsConfig::free())
-                .unwrap();
+        let mut vf = VfController::new(
+            OppTable::odroid_xu3_a15(),
+            VfDomain::PerCluster,
+            4,
+            DvfsConfig::free(),
+        )
+        .unwrap();
         assert_eq!(vf.set_cluster_opp(18).unwrap(), SimTime::ZERO);
         // Still counted as a transition even though free.
         assert_eq!(vf.transitions(), 0, "zero-latency moves are not counted");

@@ -389,7 +389,12 @@ impl Platform {
         let mut compute_time = SimTime::ZERO;
         for (core, slice) in work.iter().enumerate() {
             let opp_idx = self.vf.core_opp(core).expect("core index in range");
-            let freq = self.vf.table().get(opp_idx).expect("opp index in range").freq;
+            let freq = self
+                .vf
+                .table()
+                .get(opp_idx)
+                .expect("opp index in range")
+                .freq;
             let busy = slice.time_at(freq);
             compute_time = compute_time.max(busy);
             per_core_busy.push(busy);
@@ -479,10 +484,7 @@ mod tests {
     #[test]
     fn memory_time_does_not_scale() {
         let mut p = quiet_platform();
-        let work = vec![
-            WorkSlice::new(Cycles::from_mcycles(10), SimTime::from_ms(5));
-            4
-        ];
+        let work = vec![WorkSlice::new(Cycles::from_mcycles(10), SimTime::from_ms(5)); 4];
         p.set_cluster_opp(18); // 2 GHz: cpu 5 ms + mem 5 ms
         let r = p.run_frame(&work, SimTime::from_ms(40)).unwrap();
         assert_eq!(r.frame_time, SimTime::from_ms(10));

@@ -79,7 +79,10 @@ impl ThermalModel {
             config.r_th.is_finite() && config.r_th > 0.0,
             "thermal resistance must be finite and positive"
         );
-        assert!(!config.tau.is_zero(), "thermal time constant must be non-zero");
+        assert!(
+            !config.tau.is_zero(),
+            "thermal time constant must be non-zero"
+        );
         ThermalModel {
             temperature: config.ambient,
             peak: config.ambient,
@@ -138,7 +141,9 @@ mod tests {
         let mut t = ThermalModel::new(ThermalConfig::odroid_xu3());
         let mut prev = t.temperature().as_celsius();
         for _ in 0..100 {
-            let now = t.step(Power::from_watts(5.0), SimTime::from_ms(100)).as_celsius();
+            let now = t
+                .step(Power::from_watts(5.0), SimTime::from_ms(100))
+                .as_celsius();
             assert!(now >= prev, "heating must be monotone");
             assert!(now <= 65.0 + 1e-9, "must not overshoot steady state");
             prev = now;
@@ -157,7 +162,10 @@ mod tests {
         }
         assert!(t.temperature().as_celsius() < hot);
         assert!(t.temperature().as_celsius() >= 25.0);
-        assert!((t.peak().as_celsius() - hot).abs() < 1e-9, "peak is remembered");
+        assert!(
+            (t.peak().as_celsius() - hot).abs() < 1e-9,
+            "peak is remembered"
+        );
     }
 
     #[test]

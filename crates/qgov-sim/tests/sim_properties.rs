@@ -2,9 +2,7 @@
 //! that must hold for arbitrary workloads and operating points.
 
 use proptest::prelude::*;
-use qgov_sim::{
-    DvfsConfig, Platform, PlatformConfig, SensorConfig, VfDomain, WorkSlice,
-};
+use qgov_sim::{DvfsConfig, Platform, PlatformConfig, SensorConfig, VfDomain, WorkSlice};
 use qgov_units::{Cycles, SimTime};
 
 fn platform() -> Platform {

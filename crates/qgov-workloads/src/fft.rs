@@ -85,7 +85,10 @@ impl Complex {
 /// ```
 pub fn fft_radix2(data: &mut [Complex]) -> u64 {
     let n = data.len();
-    assert!(n > 0 && n.is_power_of_two(), "FFT length must be a power of two");
+    assert!(
+        n > 0 && n.is_power_of_two(),
+        "FFT length must be a power of two"
+    );
     if n == 1 {
         return 0;
     }
@@ -181,7 +184,9 @@ impl FftModel {
     ) -> Result<Self, WorkloadError> {
         let fail = |reason: String| Err(WorkloadError::InvalidConfig { reason });
         if !fft_size.is_power_of_two() || fft_size < 2 {
-            return fail(format!("FFT size must be a power of two >= 2, got {fft_size}"));
+            return fail(format!(
+                "FFT size must be a power of two >= 2, got {fft_size}"
+            ));
         }
         if !(cycles_per_butterfly.is_finite() && cycles_per_butterfly > 0.0) {
             return fail("cycles per butterfly must be positive".into());
@@ -373,7 +378,10 @@ mod tests {
         let expect = app.butterflies() as f64 * 12.0;
         let got = app.next_frame().total_cycles().count() as f64;
         // within jitter + serial share
-        assert!((got / expect - 1.0).abs() < 0.15, "got {got}, expected ~{expect}");
+        assert!(
+            (got / expect - 1.0).abs() < 0.15,
+            "got {got}, expected ~{expect}"
+        );
     }
 
     #[test]
@@ -386,9 +394,13 @@ mod tests {
     #[test]
     fn reset_reproduces_sequence() {
         let mut app = FftModel::fft_32fps(9);
-        let a: Vec<u64> = (0..10).map(|_| app.next_frame().total_cycles().count()).collect();
+        let a: Vec<u64> = (0..10)
+            .map(|_| app.next_frame().total_cycles().count())
+            .collect();
         app.reset();
-        let b: Vec<u64> = (0..10).map(|_| app.next_frame().total_cycles().count()).collect();
+        let b: Vec<u64> = (0..10)
+            .map(|_| app.next_frame().total_cycles().count())
+            .collect();
         assert_eq!(a, b);
     }
 

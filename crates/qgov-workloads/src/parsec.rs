@@ -477,12 +477,19 @@ mod tests {
     #[test]
     fn lu_work_shrinks_over_the_run() {
         let mut app = lu(9);
-        let early: u64 = (0..50).map(|_| app.next_frame().total_cycles().count()).sum();
+        let early: u64 = (0..50)
+            .map(|_| app.next_frame().total_cycles().count())
+            .sum();
         for _ in 50..600 {
             app.next_frame();
         }
-        let late: u64 = (0..50).map(|_| app.next_frame().total_cycles().count()).sum();
-        assert!(early > 2 * late, "lu must shrink: early {early}, late {late}");
+        let late: u64 = (0..50)
+            .map(|_| app.next_frame().total_cycles().count())
+            .sum();
+        assert!(
+            early > 2 * late,
+            "lu must shrink: early {early}, late {late}"
+        );
     }
 
     #[test]
@@ -499,9 +506,13 @@ mod tests {
     #[test]
     fn reset_reproduces_sequence() {
         let mut app = bodytrack(11);
-        let a: Vec<u64> = (0..30).map(|_| app.next_frame().total_cycles().count()).collect();
+        let a: Vec<u64> = (0..30)
+            .map(|_| app.next_frame().total_cycles().count())
+            .collect();
         app.reset();
-        let b: Vec<u64> = (0..30).map(|_| app.next_frame().total_cycles().count()).collect();
+        let b: Vec<u64> = (0..30)
+            .map(|_| app.next_frame().total_cycles().count())
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -54,7 +54,10 @@ impl Ar1Process {
     #[must_use]
     pub fn new(mean: f64, phi: f64, sigma: f64, min: f64, max: f64) -> Self {
         assert!((0.0..1.0).contains(&phi), "phi must lie in [0, 1)");
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
         assert!(min < max, "min must be below max");
         assert!(
             (min..=max).contains(&mean),
@@ -151,7 +154,10 @@ impl MarkovChain {
         for (i, row) in transitions.iter().enumerate() {
             if row.len() != n {
                 return Err(crate::WorkloadError::InvalidConfig {
-                    reason: format!("transition row {i} has {} entries for {n} states", row.len()),
+                    reason: format!(
+                        "transition row {i} has {} entries for {n} states",
+                        row.len()
+                    ),
                 });
             }
             if row.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
@@ -261,11 +267,7 @@ mod tests {
     fn markov_respects_stationary_distribution() {
         // Sticky two-state chain: stationary pi = (2/3, 1/3) for these
         // transition probabilities.
-        let mut c = MarkovChain::new(
-            vec![0.0, 1.0],
-            vec![vec![0.9, 0.1], vec![0.2, 0.8]],
-        )
-        .unwrap();
+        let mut c = MarkovChain::new(vec![0.0, 1.0], vec![vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let mut ones = 0;
         let n = 20_000;
@@ -275,7 +277,10 @@ mod tests {
             }
         }
         let frac = f64::from(ones) / f64::from(n);
-        assert!((frac - 1.0 / 3.0).abs() < 0.03, "occupancy {frac} far from 1/3");
+        assert!(
+            (frac - 1.0 / 3.0).abs() < 0.03,
+            "occupancy {frac} far from 1/3"
+        );
     }
 
     #[test]
@@ -283,18 +288,12 @@ mod tests {
         assert!(MarkovChain::new(vec![], vec![]).is_err());
         assert!(MarkovChain::new(vec![1.0], vec![vec![0.5]]).is_err()); // row sums to 0.5
         assert!(MarkovChain::new(vec![1.0, 2.0], vec![vec![1.0, 0.0]]).is_err()); // missing row
-        assert!(
-            MarkovChain::new(vec![1.0, 2.0], vec![vec![1.5, -0.5], vec![0.5, 0.5]]).is_err()
-        );
+        assert!(MarkovChain::new(vec![1.0, 2.0], vec![vec![1.5, -0.5], vec![0.5, 0.5]]).is_err());
     }
 
     #[test]
     fn markov_reset_returns_to_state_zero() {
-        let mut c = MarkovChain::new(
-            vec![0.0, 1.0],
-            vec![vec![0.0, 1.0], vec![0.0, 1.0]],
-        )
-        .unwrap();
+        let mut c = MarkovChain::new(vec![0.0, 1.0], vec![vec![0.0, 1.0], vec![0.0, 1.0]]).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         c.step(&mut rng);
         assert_eq!(c.state(), 1);

@@ -138,7 +138,15 @@ impl SyntheticWorkload {
         seed: u64,
     ) -> Self {
         assert!(to.is_finite() && to > 0.0, "ramp target must be positive");
-        Self::build(name, base, Pattern::Ramp { to }, period, frames, threads, seed)
+        Self::build(
+            name,
+            base,
+            Pattern::Ramp { to },
+            period,
+            frames,
+            threads,
+            seed,
+        )
     }
 
     /// A square wave alternating between `base` and `base × hi` every
@@ -160,7 +168,10 @@ impl SyntheticWorkload {
         threads: usize,
         seed: u64,
     ) -> Self {
-        assert!(hi.is_finite() && hi > 0.0, "square high level must be positive");
+        assert!(
+            hi.is_finite() && hi > 0.0,
+            "square high level must be positive"
+        );
         assert!(half_period > 0, "half period must be non-zero");
         Self::build(
             name,
@@ -191,7 +202,10 @@ impl SyntheticWorkload {
         threads: usize,
         seed: u64,
     ) -> Self {
-        assert!(amp.is_finite() && amp > 0.0 && amp < 1.0, "amplitude must lie in (0, 1)");
+        assert!(
+            amp.is_finite() && amp > 0.0 && amp < 1.0,
+            "amplitude must lie in (0, 1)"
+        );
         assert!(sine_period > 0, "sine period must be non-zero");
         Self::build(
             name,
@@ -245,7 +259,10 @@ impl SyntheticWorkload {
     /// Panics unless `0 ≤ cv < 1`.
     #[must_use]
     pub fn with_noise(mut self, cv: f64) -> Self {
-        assert!(cv.is_finite() && (0.0..1.0).contains(&cv), "cv must lie in [0, 1)");
+        assert!(
+            cv.is_finite() && (0.0..1.0).contains(&cv),
+            "cv must lie in [0, 1)"
+        );
         self.noise_cv = cv;
         self
     }
@@ -358,7 +375,9 @@ mod tests {
     fn square_alternates() {
         let mut app =
             SyntheticWorkload::square("s", Cycles::from_mcycles(10), 2.0, 3, PERIOD, 12, 1, 0);
-        let cycles: Vec<u64> = (0..12).map(|_| app.next_frame().total_cycles().count()).collect();
+        let cycles: Vec<u64> = (0..12)
+            .map(|_| app.next_frame().total_cycles().count())
+            .collect();
         assert_eq!(&cycles[0..3], &[10_000_000; 3]);
         assert_eq!(&cycles[3..6], &[20_000_000; 3]);
         assert_eq!(&cycles[6..9], &[10_000_000; 3]);
@@ -385,7 +404,9 @@ mod tests {
                 .with_noise(0.2)
         };
         let run = |mut app: SyntheticWorkload| -> Vec<u64> {
-            (0..30).map(|_| app.next_frame().total_cycles().count()).collect()
+            (0..30)
+                .map(|_| app.next_frame().total_cycles().count())
+                .collect()
         };
         assert_eq!(run(make(5)), run(make(5)));
         assert_ne!(run(make(5)), run(make(6)));
@@ -405,9 +426,13 @@ mod tests {
     fn reset_restarts_pattern_and_noise() {
         let mut app = SyntheticWorkload::ramp("r", Cycles::from_mcycles(10), 2.0, PERIOD, 50, 1, 1)
             .with_noise(0.1);
-        let a: Vec<u64> = (0..20).map(|_| app.next_frame().total_cycles().count()).collect();
+        let a: Vec<u64> = (0..20)
+            .map(|_| app.next_frame().total_cycles().count())
+            .collect();
         app.reset();
-        let b: Vec<u64> = (0..20).map(|_| app.next_frame().total_cycles().count()).collect();
+        let b: Vec<u64> = (0..20)
+            .map(|_| app.next_frame().total_cycles().count())
+            .collect();
         assert_eq!(a, b);
     }
 

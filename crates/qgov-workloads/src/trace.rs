@@ -152,9 +152,7 @@ impl WorkloadTrace {
         let mut lines = text.lines().enumerate();
 
         // Header line: "# name=<..> period_ns=<..> frames=<..>".
-        let (hno, header) = lines
-            .next()
-            .ok_or_else(|| err(1, "empty document"))?;
+        let (hno, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
         let header = header
             .strip_prefix("# ")
             .ok_or_else(|| err(hno + 1, "missing `# ` metadata header"))?;
@@ -168,14 +166,18 @@ impl WorkloadTrace {
             match key {
                 "name" => name = Some(value.to_owned()),
                 "period_ns" => {
-                    period = Some(SimTime::from_ns(value.parse().map_err(|_| {
-                        err(hno + 1, "period_ns is not an integer")
-                    })?));
+                    period = Some(SimTime::from_ns(
+                        value
+                            .parse()
+                            .map_err(|_| err(hno + 1, "period_ns is not an integer"))?,
+                    ));
                 }
                 "frames" => {
-                    frame_count = Some(value.parse::<usize>().map_err(|_| {
-                        err(hno + 1, "frames is not an integer")
-                    })?);
+                    frame_count = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| err(hno + 1, "frames is not an integer"))?,
+                    );
                 }
                 _ => return Err(err(hno + 1, "unknown metadata key")),
             }
@@ -188,7 +190,9 @@ impl WorkloadTrace {
         }
 
         // Column header.
-        let (cno, columns) = lines.next().ok_or_else(|| err(2, "missing column header"))?;
+        let (cno, columns) = lines
+            .next()
+            .ok_or_else(|| err(2, "missing column header"))?;
         if columns != "frame,thread,cpu_cycles,mem_ns" {
             return Err(err(cno + 1, "unexpected column header"));
         }

@@ -119,7 +119,10 @@ impl VideoParams {
             ));
         }
         if !(0.0..1.0).contains(&self.motion_phi) {
-            return fail(format!("motion phi must lie in [0, 1), got {}", self.motion_phi));
+            return fail(format!(
+                "motion phi must lie in [0, 1), got {}",
+                self.motion_phi
+            ));
         }
         if !(self.thread_imbalance.is_finite() && self.thread_imbalance >= 0.0) {
             return fail("thread imbalance must be non-negative".into());
@@ -273,8 +276,7 @@ impl VideoDecoderModel {
     pub fn upcoming_chunk_has_iframe(&self) -> bool {
         let start = self.frame_index * self.params.frames_per_iteration as u64;
         (0..self.params.frames_per_iteration as u64).any(|k| {
-            self.params.gop[((start + k) % self.params.gop.len() as u64) as usize]
-                == FrameClass::I
+            self.params.gop[((start + k) % self.params.gop.len() as u64) as usize] == FrameClass::I
         })
     }
 }
@@ -298,11 +300,18 @@ impl Application for VideoDecoderModel {
         let forced = self.params.forced_scene_frames.contains(&self.frame_index);
         let random_cut = self.rng.gen::<f64>() < self.params.scene_change_prob;
         if forced || random_cut {
-            // A cut jumps motion to a fresh level (broadcast cuts land
-            // on action: replays, close-ups) and forces an I-frame at
-            // the next slot. The new level is what defeats the EWMA —
-            // it cannot be predicted from history.
-            let level = 0.9 + 0.45 * self.rng.gen::<f64>();
+            // A cut jumps motion to a fresh level and forces an I-frame
+            // at the next slot. The new level is what defeats the EWMA —
+            // it cannot be predicted from history. Scripted cuts land on
+            // action (replays, close-ups: the high-motion band), so the
+            // burst they exist to produce is guaranteed regardless of the
+            // level the AR(1) process happens to be tracking; random cuts
+            // draw from the full range.
+            let level = if forced {
+                1.15 + 0.2 * self.rng.gen::<f64>()
+            } else {
+                0.9 + 0.45 * self.rng.gen::<f64>()
+            };
             self.motion.jump_to(level);
             self.pending_scene_iframe = true;
         }
@@ -432,7 +441,9 @@ mod tests {
         let mut without_cut = VideoDecoderModel::new(params).unwrap();
 
         let run = |app: &mut VideoDecoderModel| -> Vec<u64> {
-            (0..12).map(|_| app.next_frame().total_cycles().count()).collect()
+            (0..12)
+                .map(|_| app.next_frame().total_cycles().count())
+                .collect()
         };
         let a = run(&mut with_cut);
         let b = run(&mut without_cut);
@@ -460,8 +471,12 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = VideoDecoderModel::h264_football_15fps(1);
         let mut b = VideoDecoderModel::h264_football_15fps(2);
-        let fa: Vec<u64> = (0..20).map(|_| a.next_frame().total_cycles().count()).collect();
-        let fb: Vec<u64> = (0..20).map(|_| b.next_frame().total_cycles().count()).collect();
+        let fa: Vec<u64> = (0..20)
+            .map(|_| a.next_frame().total_cycles().count())
+            .collect();
+        let fb: Vec<u64> = (0..20)
+            .map(|_| b.next_frame().total_cycles().count())
+            .collect();
         assert_ne!(fa, fb);
     }
 

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use qgov_units::{Cycles, SimTime};
 use qgov_workloads::{
-    suites, Application, FftModel, FrameDemand, SyntheticWorkload, ThreadDemand,
-    VideoDecoderModel, WorkloadTrace,
+    suites, Application, FftModel, FrameDemand, SyntheticWorkload, ThreadDemand, VideoDecoderModel,
+    WorkloadTrace,
 };
 
 /// Builds one of the library's applications from a compact selector.

@@ -37,10 +37,9 @@ fn main() {
         let platform_config = PlatformConfig::odroid_xu3_a15();
         let opp_table = platform_config.opp_table.clone();
 
-        let mut rtm = RtmGovernor::new(
-            RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1),
-        )
-        .expect("valid config");
+        let mut rtm =
+            RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
+                .expect("valid config");
         let rtm_report = run_experiment(
             &mut rtm,
             &mut trace.clone(),

@@ -10,8 +10,8 @@
 use qgov::prelude::*;
 
 fn run_with(config: RtmConfig, trace: &WorkloadTrace, bounds: (f64, f64), frames: u64) -> String {
-    let mut rtm = RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1))
-        .expect("valid config");
+    let mut rtm =
+        RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1)).expect("valid config");
     let report = run_experiment(
         &mut rtm,
         &mut trace.clone(),

@@ -26,14 +26,17 @@ fn main() {
     // 4. The proposed run-time manager, configured as in the paper:
     //    Q-learning over 5x5 (workload x slack) states, EWMA prediction
     //    with gamma = 0.6, slack-aware EPD exploration.
-    let mut rtm = RtmGovernor::new(
-        RtmConfig::paper(42).with_workload_bounds(bounds.0, bounds.1),
-    )
-    .expect("paper configuration is valid");
+    let mut rtm = RtmGovernor::new(RtmConfig::paper(42).with_workload_bounds(bounds.0, bounds.1))
+        .expect("paper configuration is valid");
 
     // 5. Run both on the identical recorded trace.
     let frames = 600;
-    let rtm_run = run_experiment(&mut rtm, &mut trace.clone(), platform_config.clone(), frames);
+    let rtm_run = run_experiment(
+        &mut rtm,
+        &mut trace.clone(),
+        platform_config.clone(),
+        frames,
+    );
     let oracle_run = run_experiment(&mut oracle, &mut trace.clone(), platform_config, frames);
 
     // 6. Report.

@@ -12,10 +12,8 @@ fn main() {
     let frames = 240u64;
     let mut app = VideoDecoderModel::mpeg4_svga_24fps(7).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
-    let mut rtm = RtmGovernor::new(
-        RtmConfig::paper(7).with_workload_bounds(bounds.0, bounds.1),
-    )
-    .expect("paper configuration is valid");
+    let mut rtm = RtmGovernor::new(RtmConfig::paper(7).with_workload_bounds(bounds.0, bounds.1))
+        .expect("paper configuration is valid");
 
     let outcome = run_experiment(
         &mut rtm,
@@ -50,20 +48,34 @@ fn main() {
             r.actual_total_cycles / 1e6,
             r.misprediction() * 100.0,
             r.avg_slack,
-            if near_scene { "   <- scene change window" } else { "" },
+            if near_scene {
+                "   <- scene change window"
+            } else {
+                ""
+            },
         );
     }
 
     let report = &outcome.report;
     println!("\nsummary:");
-    println!("  deadline misses: {} of {}", report.deadline_misses(), report.frames());
-    println!("  normalised performance (T_i/T_ref): {:.3}", report.normalized_performance());
+    println!(
+        "  deadline misses: {} of {}",
+        report.deadline_misses(),
+        report.frames()
+    );
+    println!(
+        "  normalised performance (T_i/T_ref): {:.3}",
+        report.normalized_performance()
+    );
     println!("  total energy: {}", report.total_energy());
     println!("  converged at epoch {:?}", rtm.converged_at());
 
     // Reproduce Fig. 3's headline numbers.
     let history = rtm.history();
-    let predicted: Vec<f64> = history[1..].iter().map(|r| r.predicted_total_cycles).collect();
+    let predicted: Vec<f64> = history[1..]
+        .iter()
+        .map(|r| r.predicted_total_cycles)
+        .collect();
     let actual: Vec<f64> = history[1..].iter().map(|r| r.actual_total_cycles).collect();
     let stats = MispredictionStats::from_series(&predicted, &actual);
     println!(

@@ -68,19 +68,18 @@ pub mod prelude {
     pub use qgov_core::{ExplorationKind, RtmConfig, RtmGovernor, StateKind};
     pub use qgov_governors::{
         ConservativeGovernor, EpochObservation, GeQiuConfig, GeQiuGovernor, Governor,
-        GovernorContext, OndemandGovernor, OracleGovernor, PerformanceGovernor, SchedutilGovernor,
-        PowersaveGovernor, SlackTracker, UserspaceGovernor, VfDecision,
+        GovernorContext, OndemandGovernor, OracleGovernor, PerformanceGovernor, PowersaveGovernor,
+        SchedutilGovernor, SlackTracker, UserspaceGovernor, VfDecision,
     };
     pub use qgov_metrics::{ComparisonTable, MispredictionStats, RunReport, Series};
     pub use qgov_rl::{DecayingEpsilon, EpdPolicy, EwmaPredictor, Predictor, QTable, SlackReward};
     pub use qgov_sim::{
-        DvfsConfig, Opp, OppTable, Platform, PlatformConfig, SensorConfig, ThermalConfig,
-        VfDomain, WorkSlice,
+        DvfsConfig, Opp, OppTable, Platform, PlatformConfig, SensorConfig, ThermalConfig, VfDomain,
+        WorkSlice,
     };
     pub use qgov_units::{Cycles, Energy, Freq, Power, SimTime, Temp, Volt};
     pub use qgov_workloads::{
         suites, Application, CompositeWorkload, FftModel, FrameDemand, PhasedBenchmarkModel,
-        SyntheticWorkload,
-        ThreadDemand, VideoDecoderModel, WorkloadTrace,
+        SyntheticWorkload, ThreadDemand, VideoDecoderModel, WorkloadTrace,
     };
 }

@@ -35,10 +35,8 @@ fn rtm_manages_two_concurrent_applications() {
     let frames = 500;
     let mut app = composite(3, frames);
     let (trace, bounds) = precharacterize(&mut app);
-    let mut rtm = RtmGovernor::new(
-        RtmConfig::paper(3).with_workload_bounds(bounds.0, bounds.1),
-    )
-    .unwrap();
+    let mut rtm =
+        RtmGovernor::new(RtmConfig::paper(3).with_workload_bounds(bounds.0, bounds.1)).unwrap();
     let report = run_experiment(
         &mut rtm,
         &mut trace.clone(),
@@ -77,10 +75,8 @@ fn composite_beats_ondemand_like_single_apps_do() {
     )
     .report;
 
-    let mut rtm = RtmGovernor::new(
-        RtmConfig::paper(7).with_workload_bounds(bounds.0, bounds.1),
-    )
-    .unwrap();
+    let mut rtm =
+        RtmGovernor::new(RtmConfig::paper(7).with_workload_bounds(bounds.0, bounds.1)).unwrap();
     let rt = run_experiment(
         &mut rtm,
         &mut trace.clone(),

@@ -7,10 +7,8 @@ fn fingerprint(seed: u64) -> Vec<u64> {
     let frames = 300;
     let mut app = VideoDecoderModel::h264_football_15fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
-    let mut rtm = RtmGovernor::new(
-        RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1),
-    )
-    .unwrap();
+    let mut rtm =
+        RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1)).unwrap();
     let outcome = run_experiment(
         &mut rtm,
         &mut trace.clone(),

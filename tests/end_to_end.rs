@@ -5,11 +5,7 @@
 use qgov::prelude::*;
 
 /// Runs one governor on the given recorded trace.
-fn run_on(
-    gov: &mut dyn Governor,
-    trace: &WorkloadTrace,
-    frames: u64,
-) -> qgov::metrics::RunReport {
+fn run_on(gov: &mut dyn Governor, trace: &WorkloadTrace, frames: u64) -> qgov::metrics::RunReport {
     run_experiment(
         gov,
         &mut trace.clone(),
@@ -30,10 +26,8 @@ fn energy_ordering_matches_physics() {
     let save = run_on(&mut PowersaveGovernor::new(), &trace, frames);
     let mut oracle_gov = OracleGovernor::from_trace(&trace, &table, 0.02);
     let oracle = run_on(&mut oracle_gov, &trace, frames);
-    let mut rtm_gov = RtmGovernor::new(
-        RtmConfig::paper(9).with_workload_bounds(bounds.0, bounds.1),
-    )
-    .unwrap();
+    let mut rtm_gov =
+        RtmGovernor::new(RtmConfig::paper(9).with_workload_bounds(bounds.0, bounds.1)).unwrap();
     let rtm = run_on(&mut rtm_gov, &trace, frames);
 
     // Race-to-idle burns the most energy; the oracle can only save
@@ -55,10 +49,8 @@ fn rtm_beats_ondemand_on_energy_while_performing_closer_to_deadline() {
     let (trace, bounds) = precharacterize(&mut app);
 
     let ondemand = run_on(&mut OndemandGovernor::linux_default(), &trace, frames);
-    let mut rtm_gov = RtmGovernor::new(
-        RtmConfig::paper(21).with_workload_bounds(bounds.0, bounds.1),
-    )
-    .unwrap();
+    let mut rtm_gov =
+        RtmGovernor::new(RtmConfig::paper(21).with_workload_bounds(bounds.0, bounds.1)).unwrap();
     let rtm = run_on(&mut rtm_gov, &trace, frames);
 
     assert!(
@@ -101,10 +93,8 @@ fn overheads_lengthen_frames_and_are_accounted() {
     let mut app = VideoDecoderModel::mpeg4_svga_24fps(5).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
 
-    let mut rtm = RtmGovernor::new(
-        RtmConfig::paper(5).with_workload_bounds(bounds.0, bounds.1),
-    )
-    .unwrap();
+    let mut rtm =
+        RtmGovernor::new(RtmConfig::paper(5).with_workload_bounds(bounds.0, bounds.1)).unwrap();
     let outcome = run_experiment(
         &mut rtm,
         &mut trace.clone(),
@@ -140,7 +130,10 @@ fn thermal_trajectory_reflects_governor_aggressiveness() {
         hot.platform.peak_temperature() > cold.platform.peak_temperature(),
         "racing at 2 GHz must run hotter than crawling at 200 MHz"
     );
-    assert!(hot.platform.peak_temperature().as_celsius() < 95.0, "no thermal runaway");
+    assert!(
+        hot.platform.peak_temperature().as_celsius() < 95.0,
+        "no thermal runaway"
+    );
 }
 
 #[test]

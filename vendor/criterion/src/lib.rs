@@ -1,0 +1,149 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of the criterion API its benches use: [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock loop: a short warm-up sizes the
+//! iteration count to a fixed budget, then one timed pass reports the mean
+//! nanoseconds per iteration. There are no statistics, plots, or saved
+//! baselines — good enough to compare orders of magnitude with
+//! `cargo bench`, and above all cheap to compile.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility, the
+/// measurement loop treats every variant the same.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut timed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+        }
+        self.elapsed = timed;
+    }
+}
+
+/// The benchmark driver: times named routines and prints one line each.
+pub struct Criterion {
+    warmup_iters: u64,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup_iters: 32,
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with upstream; returns `self`
+    /// unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks one routine under `id`, printing mean time per
+    /// iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Warm-up pass sizes the measured pass to the time budget.
+        let mut b = Bencher {
+            iters: self.warmup_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter_ns = (b.elapsed.as_nanos() as f64 / self.warmup_iters as f64).max(0.1);
+        let iters = ((self.budget.as_nanos() as f64 / per_iter_ns) as u64).clamp(8, 1_000_000);
+
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+        println!("{id:<44} {mean_ns:>12.1} ns/iter  ({iters} iters)");
+        self
+    }
+}
+
+/// Declares a function running each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut ran = 0u64;
+        Criterion::default().bench_function("counting", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        Criterion::default().bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}
