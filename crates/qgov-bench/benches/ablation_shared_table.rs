@@ -3,16 +3,25 @@
 //! per-core independent learning.
 //!
 //! Run with `cargo bench -p qgov-bench --bench ablation_shared_table`.
+//! `QGOV_FRAMES` overrides the run length; `QGOV_WORKERS` picks the
+//! runner policy (`serial`, a worker count, default one per core).
 
-use qgov_bench::experiments::run_shared_table_ablation;
+use qgov_bench::experiments::run_shared_table_ablation_with;
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use std::time::Instant;
 
 fn main() {
-    let frames = 800;
+    let frames = frames_from_env(3_000);
     let seed = 2017;
+    let runner = RunnerConfig::from_env();
     println!("== Ablation: shared Q-table vs per-core independent tables ==");
-    println!("   H.264 football, {frames} frames, seed {seed}\n");
-    let result = run_shared_table_ablation(seed, frames);
+    println!("   H.264 football, {frames} frames, seed {seed}");
+    println!("   runner: {}\n", runner.describe());
+    let start = Instant::now();
+    let result = run_shared_table_ablation_with(seed, frames, &runner);
+    let elapsed = start.elapsed();
     println!("{}", result.table.render());
     println!("expectation: the shared-table formulations converge in fewer epochs and");
     println!("save more energy than per-core independent tables [20].");
+    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
 }

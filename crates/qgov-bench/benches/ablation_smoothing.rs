@@ -4,15 +4,24 @@
 //! lags genuine workload changes, large γ chases frame-to-frame noise.
 //!
 //! Run with `cargo bench -p qgov-bench --bench ablation_smoothing`.
+//! `QGOV_FRAMES` overrides the run length; `QGOV_WORKERS` picks the
+//! runner policy (`serial`, a worker count, default one per core).
 
-use qgov_bench::experiments::run_smoothing_ablation;
+use qgov_bench::experiments::run_smoothing_ablation_with;
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use std::time::Instant;
 
 fn main() {
-    let frames = 400;
+    let frames = frames_from_env(3_000);
     let seed = 2017;
+    let runner = RunnerConfig::from_env();
     println!("== Ablation: EWMA smoothing factor gamma ==");
-    println!("   MPEG4 SVGA at 24 fps, {frames} frames, seed {seed}\n");
-    let result = run_smoothing_ablation(seed, frames);
+    println!("   MPEG4 SVGA at 24 fps, {frames} frames, seed {seed}");
+    println!("   runner: {}\n", runner.describe());
+    let start = Instant::now();
+    let result = run_smoothing_ablation_with(seed, frames, &runner);
+    let elapsed = start.elapsed();
     println!("{}", result.table.render());
     println!("expectation: misprediction is minimised near gamma = 0.6, the paper's choice.");
+    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
 }

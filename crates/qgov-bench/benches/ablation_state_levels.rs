@@ -6,16 +6,25 @@
 //! sweep regenerates that trade-off.
 //!
 //! Run with `cargo bench -p qgov-bench --bench ablation_state_levels`.
+//! `QGOV_FRAMES` overrides the run length; `QGOV_WORKERS` picks the
+//! runner policy (`serial`, a worker count, default one per core).
 
-use qgov_bench::experiments::run_state_levels_ablation;
+use qgov_bench::experiments::run_state_levels_ablation_with;
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use std::time::Instant;
 
 fn main() {
-    let frames = 800;
+    let frames = frames_from_env(3_000);
     let seed = 2017;
+    let runner = RunnerConfig::from_env();
     println!("== Ablation: state discretisation levels N ==");
-    println!("   H.264 football, {frames} frames, seed {seed}\n");
-    let result = run_state_levels_ablation(seed, frames);
+    println!("   H.264 football, {frames} frames, seed {seed}");
+    println!("   runner: {}\n", runner.describe());
+    let start = Instant::now();
+    let result = run_state_levels_ablation_with(seed, frames, &runner);
+    let elapsed = start.elapsed();
     println!("{}", result.table.render());
     println!("expectation: small N converges fast but controls coarsely;");
     println!("large N controls finely but explores/converges slowly — N = 5 balances.");
+    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
 }

@@ -5,16 +5,25 @@
 //! `target/fig3_misprediction.csv` for plotting.
 //!
 //! Run with `cargo bench -p qgov-bench --bench fig3_misprediction`.
+//! `QGOV_FRAMES` overrides the run length (the paper's figure shows the
+//! first 240 frames; the recorded baseline uses the full 3000);
+//! `QGOV_WORKERS` picks the runner policy.
 
-use qgov_bench::experiments::run_fig3;
+use qgov_bench::experiments::run_fig3_with;
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use std::time::Instant;
 
 fn main() {
-    let frames = 240;
+    let frames = frames_from_env(3_000);
     let seed = 2017;
+    let runner = RunnerConfig::from_env();
     println!("== Fig. 3: workload misprediction and learning impact on slack ==");
     println!("   MPEG4 SVGA at 24 fps, gamma = 0.6, {frames} frames, seed {seed}");
-    println!("   (scene change scripted at frame 90, as in the paper's sequence)\n");
-    let result = run_fig3(seed, frames);
+    println!("   (scene change scripted at frame 90, as in the paper's sequence)");
+    println!("   runner: {}\n", runner.describe());
+    let start = Instant::now();
+    let result = run_fig3_with(seed, frames, &runner);
+    let elapsed = start.elapsed();
 
     println!(
         "average misprediction, frames 1-100:   {:.1}%  (paper: ~8%)",
@@ -38,4 +47,5 @@ fn main() {
         Ok(()) => println!("\nfull series written to {}", out.display()),
         Err(e) => println!("\ncould not write {}: {e}", out.display()),
     }
+    println!("wall-clock: {elapsed:.2?} ({})", runner.describe());
 }

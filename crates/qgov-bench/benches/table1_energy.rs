@@ -4,18 +4,27 @@
 //! H.264 football sequence (~3000 frames).
 //!
 //! Run with `cargo bench -p qgov-bench --bench table1_energy`.
+//! `QGOV_FRAMES` overrides the run length; `QGOV_WORKERS` picks the
+//! runner policy (`serial`, a worker count, default one per core).
 
-use qgov_bench::experiments::run_table1;
+use qgov_bench::experiments::run_table1_with;
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use std::time::Instant;
 
 fn main() {
-    let frames = 3_000;
+    let frames = frames_from_env(3_000);
     let seed = 2017;
+    let runner = RunnerConfig::from_env();
     println!("== Table I: comparative normalised energy and performance ==");
-    println!("   workload: H.264 football sequence, {frames} frames at 15 fps, seed {seed}\n");
-    let result = run_table1(seed, frames);
+    println!("   workload: H.264 football sequence, {frames} frames at 15 fps, seed {seed}");
+    println!("   runner: {}\n", runner.describe());
+    let start = Instant::now();
+    let result = run_table1_with(seed, frames, &runner);
+    let elapsed = start.elapsed();
     println!("{}", result.table.render());
     println!("paper reference (measured on ODROID-XU3):");
     println!("  Linux Ondemand [5]            1.29  0.77");
     println!("  Multi-core DVFS control [20]  1.20  0.89");
     println!("  Proposed                      1.11  0.96");
+    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
 }

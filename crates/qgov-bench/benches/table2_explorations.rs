@@ -4,18 +4,27 @@
 //! Shen et al. [21], on MPEG4 (30 fps), H.264 (15 fps) and FFT (32 fps).
 //!
 //! Run with `cargo bench -p qgov-bench --bench table2_explorations`.
+//! `QGOV_FRAMES` overrides the run length; `QGOV_WORKERS` picks the
+//! runner policy (`serial`, a worker count, default one per core).
 
-use qgov_bench::experiments::run_table2;
+use qgov_bench::experiments::run_table2_with;
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use std::time::Instant;
 
 fn main() {
-    let frames = 800;
+    let frames = frames_from_env(3_000);
     let seed = 2017;
+    let runner = RunnerConfig::from_env();
     println!("== Table II: comparative number of explorations ==");
-    println!("   {frames} frames per application, seed {seed}\n");
-    let result = run_table2(seed, frames);
+    println!("   {frames} frames per application, seed {seed}");
+    println!("   runner: {}\n", runner.describe());
+    let start = Instant::now();
+    let result = run_table2_with(seed, frames, &runner);
+    let elapsed = start.elapsed();
     println!("{}", result.table.render());
     println!("paper reference (measured on ODROID-XU3):");
     println!("  MPEG4 (30 fps)   144 -> 83");
     println!("  H.264 (15 fps)   149 -> 90");
     println!("  FFT (32 fps)     119 -> 74");
+    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
 }

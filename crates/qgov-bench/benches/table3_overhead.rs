@@ -5,17 +5,26 @@
 //! with T_ref = 31 ms.
 //!
 //! Run with `cargo bench -p qgov-bench --bench table3_overhead`.
+//! `QGOV_FRAMES` overrides the run length; `QGOV_WORKERS` picks the
+//! runner policy (`serial`, a worker count, default one per core).
 
-use qgov_bench::experiments::run_table3;
+use qgov_bench::experiments::run_table3_with;
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use std::time::Instant;
 
 fn main() {
-    let frames = 800;
+    let frames = frames_from_env(3_000);
     let seed = 2017;
+    let runner = RunnerConfig::from_env();
     println!("== Table III: comparative worst-case learning overhead ==");
-    println!("   ffmpeg-style MPEG4 decode, T_ref = 31 ms, {frames} frames, seed {seed}\n");
-    let result = run_table3(seed, frames);
+    println!("   ffmpeg-style MPEG4 decode, T_ref = 31 ms, {frames} frames, seed {seed}");
+    println!("   runner: {}\n", runner.describe());
+    let start = Instant::now();
+    let result = run_table3_with(seed, frames, &runner);
+    let elapsed = start.elapsed();
     println!("{}", result.table.render());
     println!("paper reference (measured on ODROID-XU3):");
     println!("  Multi-core DVFS control [20]  205 decision epochs");
     println!("  Our approach                  105 decision epochs");
+    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
 }

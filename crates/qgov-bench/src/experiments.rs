@@ -4,8 +4,29 @@
 //! on the *identical* recorded workload trace (so comparisons are
 //! frame-for-frame fair), and returns both structured rows and a
 //! rendered [`ComparisonTable`].
+//!
+//! # Batched execution
+//!
+//! Each experiment expands its methodology/configuration grid into
+//! [`ExperimentBatch`] cells, so the `*_with` variants accept a
+//! [`RunnerConfig`] choosing serial or parallel execution. Every cell
+//! clones the shared pre-characterised trace and builds its own
+//! governor and platform, which is what makes the parallel path
+//! bit-identical to the serial one (see [`crate::runner`]). The
+//! seed-only forms ([`run_table1`], …) read the policy from
+//! `QGOV_WORKERS` via [`RunnerConfig::from_env`].
+//!
+//! ```
+//! use qgov_bench::experiments::run_table2_with;
+//! use qgov_bench::runner::RunnerConfig;
+//!
+//! // Table II's six cells (3 applications × {UPD, EPD}) on 2 workers.
+//! let result = run_table2_with(1, 80, &RunnerConfig::with_workers(2));
+//! assert_eq!(result.rows.len(), 3);
+//! ```
 
 use crate::harness::{precharacterize, run_experiment};
+use crate::runner::{ExperimentBatch, RunnerConfig};
 use qgov_core::{RtmConfig, RtmGovernor, StateKind};
 use qgov_governors::{GeQiuConfig, GeQiuGovernor, OndemandGovernor, OracleGovernor};
 use qgov_metrics::{ComparisonTable, MispredictionStats, RunReport, Series};
@@ -50,42 +71,62 @@ pub struct Table1Result {
 }
 
 /// **Table I** — comparative normalised energy and performance on the
-/// H.264 football sequence (paper Section III-A).
-///
-/// All methodologies replay the identical recorded trace; energy is
-/// normalised to the Oracle run, performance to `T_ref`.
+/// H.264 football sequence (paper Section III-A), with the execution
+/// policy read from `QGOV_WORKERS` ([`RunnerConfig::from_env`]).
 #[must_use]
 pub fn run_table1(seed: u64, frames: u64) -> Table1Result {
+    run_table1_with(seed, frames, &RunnerConfig::from_env())
+}
+
+/// **Table I** under an explicit [`RunnerConfig`].
+///
+/// All methodologies replay the identical recorded trace; energy is
+/// normalised to the Oracle run, performance to `T_ref`. The four
+/// methodology runs are independent batch cells.
+#[must_use]
+pub fn run_table1_with(seed: u64, frames: u64, runner: &RunnerConfig) -> Table1Result {
     let mut app = VideoDecoderModel::h264_football_15fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
     let platform_config = PlatformConfig::odroid_xu3_a15();
     let opp_table = OppTable::odroid_xu3_a15();
 
-    let oracle_report = {
-        let mut oracle = OracleGovernor::from_trace(&trace, &opp_table, 0.02);
-        let mut replay = trace.clone();
-        run_experiment(&mut oracle, &mut replay, platform_config.clone(), frames).report
-    };
-
-    let mut reports: Vec<RunReport> = Vec::new();
+    let mut batch = ExperimentBatch::new();
     {
-        let mut gov = OndemandGovernor::linux_default();
-        let mut replay = trace.clone();
-        reports.push(run_experiment(&mut gov, &mut replay, platform_config.clone(), frames).report);
+        let (trace, config) = (trace.clone(), platform_config.clone());
+        batch.push("table1/ondemand", move || {
+            let mut gov = OndemandGovernor::linux_default();
+            let mut replay = trace;
+            run_experiment(&mut gov, &mut replay, config, frames).report
+        });
     }
     {
-        let mut gov = GeQiuGovernor::new(GeQiuConfig::paper(seed));
-        let mut replay = trace.clone();
-        reports.push(run_experiment(&mut gov, &mut replay, platform_config.clone(), frames).report);
+        let (trace, config) = (trace.clone(), platform_config.clone());
+        batch.push("table1/geqiu", move || {
+            let mut gov = GeQiuGovernor::new(GeQiuConfig::paper(seed));
+            let mut replay = trace;
+            run_experiment(&mut gov, &mut replay, config, frames).report
+        });
     }
     {
-        let mut gov =
-            RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
-                .expect("paper config is valid");
-        let mut replay = trace.clone();
-        reports.push(run_experiment(&mut gov, &mut replay, platform_config.clone(), frames).report);
+        let (trace, config) = (trace.clone(), platform_config.clone());
+        batch.push("table1/rtm", move || {
+            let mut gov =
+                RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
+                    .expect("paper config is valid");
+            let mut replay = trace;
+            run_experiment(&mut gov, &mut replay, config, frames).report
+        });
     }
-    reports.push(oracle_report.clone());
+    {
+        let (trace, config) = (trace, platform_config);
+        batch.push("table1/oracle", move || {
+            let mut gov = OracleGovernor::from_trace(&trace, &opp_table, 0.02);
+            let mut replay = trace.clone();
+            run_experiment(&mut gov, &mut replay, config, frames).report
+        });
+    }
+    let reports = batch.run(runner);
+    let oracle_report = reports.last().expect("oracle cell present").clone();
 
     let label = |name: &str| -> String {
         match name {
@@ -155,10 +196,17 @@ fn explorations_of(rtm: &RtmGovernor) -> u64 {
 }
 
 /// **Table II** — number of explorations until convergence, EPD (Eq. 2)
-/// versus the uniform-probability baseline \[21\], on the paper's three
-/// applications (Section III-C).
+/// versus the uniform-probability baseline \[21\] (Section III-C), with
+/// the execution policy read from `QGOV_WORKERS`.
 #[must_use]
 pub fn run_table2(seed: u64, frames: u64) -> Table2Result {
+    run_table2_with(seed, frames, &RunnerConfig::from_env())
+}
+
+/// **Table II** under an explicit [`RunnerConfig`]: the paper's three
+/// applications × {UPD, EPD} expand to six batch cells.
+#[must_use]
+pub fn run_table2_with(seed: u64, frames: u64, runner: &RunnerConfig) -> Table2Result {
     let apps: Vec<(String, Box<dyn Application>)> = vec![
         (
             "MPEG4 (30 fps)".into(),
@@ -171,27 +219,41 @@ pub fn run_table2(seed: u64, frames: u64) -> Table2Result {
         ("FFT (32 fps)".into(), Box::new(FftModel::fft_32fps(seed))),
     ];
 
-    let mut rows = Vec::new();
+    let mut batch = ExperimentBatch::new();
+    let mut labels = Vec::new();
     for (label, mut app) in apps {
         let (trace, bounds) = precharacterize(app.as_mut());
-        let run = |config: RtmConfig| -> u64 {
-            let mut rtm = RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1))
-                .expect("valid config");
-            let mut replay = trace.clone();
-            run_experiment(
-                &mut rtm,
-                &mut replay,
-                PlatformConfig::odroid_xu3_a15(),
-                frames,
-            );
-            explorations_of(&rtm)
-        };
-        rows.push(Table2Row {
-            app: label,
-            upd_explorations: run(RtmConfig::upd_baseline(seed)),
-            epd_explorations: run(RtmConfig::paper(seed)),
-        });
+        for (kind, config) in [
+            ("upd", RtmConfig::upd_baseline(seed)),
+            ("epd", RtmConfig::paper(seed)),
+        ] {
+            let trace = trace.clone();
+            batch.push(format!("table2/{label}/{kind}"), move || {
+                let mut rtm = RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1))
+                    .expect("valid config");
+                let mut replay = trace;
+                run_experiment(
+                    &mut rtm,
+                    &mut replay,
+                    PlatformConfig::odroid_xu3_a15(),
+                    frames,
+                );
+                explorations_of(&rtm)
+            });
+        }
+        labels.push(label);
     }
+    let counts = batch.run(runner);
+
+    let rows: Vec<Table2Row> = labels
+        .into_iter()
+        .zip(counts.chunks_exact(2))
+        .map(|(app, pair)| Table2Row {
+            app,
+            upd_explorations: pair[0],
+            epd_explorations: pair[1],
+        })
+        .collect();
 
     let mut table = ComparisonTable::new(vec![
         "Application",
@@ -231,12 +293,19 @@ pub struct Table3Result {
     pub table: ComparisonTable,
 }
 
-/// **Table III** — worst-case learning overhead in decision epochs on
-/// an ffmpeg-style decode with `T_ref` = 31 ms (Section III-D): the
-/// shared Q-table converges roughly twice as fast as per-core
-/// independent learners.
+/// **Table III** — worst-case learning overhead in decision epochs
+/// (Section III-D), with the execution policy read from `QGOV_WORKERS`.
 #[must_use]
 pub fn run_table3(seed: u64, frames: u64) -> Table3Result {
+    run_table3_with(seed, frames, &RunnerConfig::from_env())
+}
+
+/// **Table III** under an explicit [`RunnerConfig`]: the two
+/// methodologies (per-core \[20\] and shared-table proposed) run as
+/// independent batch cells on an ffmpeg-style decode with `T_ref` =
+/// 31 ms. The shared Q-table converges roughly twice as fast.
+#[must_use]
+pub fn run_table3_with(seed: u64, frames: u64, runner: &RunnerConfig) -> Table3Result {
     // The paper's overhead workload: ffmpeg decode at T_ref = 31 ms
     // (~32 fps MPEG4).
     let mut params = VideoDecoderModel::mpeg4_svga_24fps(seed).params().clone();
@@ -246,41 +315,50 @@ pub fn run_table3(seed: u64, frames: u64) -> Table3Result {
     let mut app = VideoDecoderModel::new(params).expect("valid params");
     let (trace, bounds) = precharacterize(&mut app);
 
-    let mut rtm = RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
-        .expect("valid config");
+    let mut batch = ExperimentBatch::new();
     {
-        let mut replay = trace.clone();
-        run_experiment(
-            &mut rtm,
-            &mut replay,
-            PlatformConfig::odroid_xu3_a15(),
-            frames,
-        );
+        let trace = trace.clone();
+        batch.push("table3/geqiu", move || {
+            let mut geqiu = GeQiuGovernor::new(GeQiuConfig::paper(seed));
+            let mut replay = trace;
+            run_experiment(
+                &mut geqiu,
+                &mut replay,
+                PlatformConfig::odroid_xu3_a15(),
+                frames,
+            );
+            (geqiu.exploration_phase_epochs(), geqiu.converged_at())
+        });
     }
-
-    let mut geqiu = GeQiuGovernor::new(GeQiuConfig::paper(seed));
     {
-        let mut replay = trace.clone();
-        run_experiment(
-            &mut geqiu,
-            &mut replay,
-            PlatformConfig::odroid_xu3_a15(),
-            frames,
-        );
+        let trace = trace.clone();
+        batch.push("table3/rtm", move || {
+            let mut rtm =
+                RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
+                    .expect("valid config");
+            let mut replay = trace;
+            run_experiment(
+                &mut rtm,
+                &mut replay,
+                PlatformConfig::odroid_xu3_a15(),
+                frames,
+            );
+            (rtm.exploration_phase_epochs(), rtm.converged_at())
+        });
     }
+    let results = batch.run(runner);
 
-    let rows = vec![
-        Table3Row {
-            method: "Multi-core DVFS control [20]".into(),
-            exploration_epochs: geqiu.exploration_phase_epochs(),
-            convergence_epochs: geqiu.converged_at(),
-        },
-        Table3Row {
-            method: "Our approach".into(),
-            exploration_epochs: rtm.exploration_phase_epochs(),
-            convergence_epochs: rtm.converged_at(),
-        },
-    ];
+    let rows: Vec<Table3Row> = ["Multi-core DVFS control [20]", "Our approach"]
+        .iter()
+        .zip(&results)
+        .map(
+            |(method, &(exploration_epochs, convergence_epochs))| Table3Row {
+                method: (*method).into(),
+                exploration_epochs,
+                convergence_epochs,
+            },
+        )
+        .collect();
     let mut table = ComparisonTable::new(vec![
         "Methodology",
         "Time overhead (decision epochs)",
@@ -320,24 +398,41 @@ pub struct Fig3Result {
 }
 
 /// **Fig. 3** — workload misprediction for MPEG4 at 24 fps (γ = 0.6)
-/// and the learning impact on average slack (Section III-B). The
-/// preset scripts a scene change at frame 90, reproducing the paper's
-/// mid-exploitation misprediction burst.
+/// and the learning impact on average slack (Section III-B), with the
+/// execution policy read from `QGOV_WORKERS`.
 #[must_use]
 pub fn run_fig3(seed: u64, frames: u64) -> Fig3Result {
+    run_fig3_with(seed, frames, &RunnerConfig::from_env())
+}
+
+/// **Fig. 3** under an explicit [`RunnerConfig`] (a single-cell batch —
+/// it parallelises only across invocations). The preset scripts a
+/// scene change at frame 90, reproducing the paper's mid-exploitation
+/// misprediction burst.
+#[must_use]
+pub fn run_fig3_with(seed: u64, frames: u64, runner: &RunnerConfig) -> Fig3Result {
     let mut app = VideoDecoderModel::mpeg4_svga_24fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
-    let mut rtm = RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
-        .expect("valid config");
-    let mut replay = trace.clone();
-    run_experiment(
-        &mut rtm,
-        &mut replay,
-        PlatformConfig::odroid_xu3_a15(),
-        frames,
-    );
 
-    let history = rtm.history();
+    let mut batch = ExperimentBatch::new();
+    {
+        let trace = trace.clone();
+        batch.push("fig3/rtm", move || {
+            let mut rtm =
+                RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
+                    .expect("valid config");
+            let mut replay = trace;
+            run_experiment(
+                &mut rtm,
+                &mut replay,
+                PlatformConfig::odroid_xu3_a15(),
+                frames,
+            );
+            rtm.history().to_vec()
+        });
+    }
+    let history = batch.run(runner).pop().expect("one cell");
+
     // Epoch 0 has no prediction yet; start the series at epoch 1.
     let predicted: Vec<f64> = history[1..]
         .iter()
@@ -425,12 +520,17 @@ fn ablation_table(rows: &[AblationRow], label_header: &str) -> ComparisonTable {
     table
 }
 
+/// What one learning-governor ablation cell reports back: the run
+/// report, the convergence epoch (if reached) and the exploration
+/// count.
+type AblationCell = (RunReport, Option<u64>, u64);
+
 fn run_rtm_vs_oracle(
     config: RtmConfig,
     trace: &WorkloadTrace,
     bounds: (f64, f64),
     frames: u64,
-) -> (RunReport, Option<u64>, u64) {
+) -> AblationCell {
     let mut rtm =
         RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1)).expect("valid config");
     let mut replay = trace.clone();
@@ -458,135 +558,213 @@ fn oracle_reference(trace: &WorkloadTrace, frames: u64) -> RunReport {
     .report
 }
 
-/// **Ablation** — sweep of the state discretisation level count N
-/// (the paper fixes N = 5 from pre-characterisation): more levels give
-/// finer control but a larger Q-table that takes longer to learn.
+fn ablation_row(label: String, cell: &AblationCell, oracle: &RunReport) -> AblationRow {
+    let (report, converged, explorations) = cell;
+    AblationRow {
+        label,
+        normalized_energy: report.normalized_energy(oracle),
+        normalized_performance: report.normalized_performance(),
+        miss_rate: report.miss_rate(),
+        convergence_epochs: *converged,
+        explorations: *explorations,
+    }
+}
+
+/// **Ablation** — sweep of the state discretisation level count N, with
+/// the execution policy read from `QGOV_WORKERS`.
 #[must_use]
 pub fn run_state_levels_ablation(seed: u64, frames: u64) -> AblationResult {
+    run_state_levels_ablation_with(seed, frames, &RunnerConfig::from_env())
+}
+
+/// **Ablation** — state levels N under an explicit [`RunnerConfig`]
+/// (the paper fixes N = 5 from pre-characterisation): more levels give
+/// finer control but a larger Q-table that takes longer to learn. The
+/// oracle reference and the five N configurations are six batch cells.
+#[must_use]
+pub fn run_state_levels_ablation_with(
+    seed: u64,
+    frames: u64,
+    runner: &RunnerConfig,
+) -> AblationResult {
     let mut app = VideoDecoderModel::h264_football_15fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
-    let oracle = oracle_reference(&trace, frames);
 
-    let mut rows = Vec::new();
-    for n in [3usize, 4, 5, 7, 9] {
-        let mut config = RtmConfig::paper(seed);
-        config.workload_levels = n;
-        config.slack_levels = n;
-        let (report, converged, explorations) = run_rtm_vs_oracle(config, &trace, bounds, frames);
-        rows.push(AblationRow {
-            label: format!("N = {n} ({} states)", n * n),
-            normalized_energy: report.normalized_energy(&oracle),
-            normalized_performance: report.normalized_performance(),
-            miss_rate: report.miss_rate(),
-            convergence_epochs: converged,
-            explorations,
+    const LEVELS: [usize; 5] = [3, 4, 5, 7, 9];
+    let mut batch = ExperimentBatch::new();
+    {
+        let trace = trace.clone();
+        batch.push("ablation-levels/oracle", move || {
+            (oracle_reference(&trace, frames), None, 0)
         });
     }
+    for n in LEVELS {
+        let trace = trace.clone();
+        batch.push(format!("ablation-levels/n={n}"), move || {
+            let mut config = RtmConfig::paper(seed);
+            config.workload_levels = n;
+            config.slack_levels = n;
+            run_rtm_vs_oracle(config, &trace, bounds, frames)
+        });
+    }
+    let mut cells = batch.run(runner);
+    let (oracle, _, _) = cells.remove(0);
+
+    let rows: Vec<AblationRow> = LEVELS
+        .iter()
+        .zip(&cells)
+        .map(|(n, cell)| ablation_row(format!("N = {n} ({} states)", n * n), cell, &oracle))
+        .collect();
     let table = ablation_table(&rows, "State levels");
     AblationResult { rows, table }
 }
 
-/// **Ablation** — sweep of the EWMA smoothing factor γ (the paper
-/// determines γ = 0.6 experimentally): small γ lags workload changes,
-/// large γ chases noise.
+/// **Ablation** — sweep of the EWMA smoothing factor γ, with the
+/// execution policy read from `QGOV_WORKERS`.
 #[must_use]
 pub fn run_smoothing_ablation(seed: u64, frames: u64) -> AblationResult {
+    run_smoothing_ablation_with(seed, frames, &RunnerConfig::from_env())
+}
+
+/// **Ablation** — EWMA γ under an explicit [`RunnerConfig`] (the paper
+/// determines γ = 0.6 experimentally): small γ lags workload changes,
+/// large γ chases noise. The oracle reference and the five γ
+/// configurations are six batch cells; each γ cell also reports its
+/// mean relative misprediction.
+#[must_use]
+pub fn run_smoothing_ablation_with(
+    seed: u64,
+    frames: u64,
+    runner: &RunnerConfig,
+) -> AblationResult {
     let mut app = VideoDecoderModel::mpeg4_svga_24fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
-    let oracle = oracle_reference(&trace, frames);
 
-    let mut rows = Vec::new();
-    for gamma in [0.2, 0.4, 0.6, 0.8, 0.95] {
-        let mut config = RtmConfig::paper(seed);
-        config.smoothing = gamma;
-        let mut rtm = RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1))
-            .expect("valid config");
-        let mut replay = trace.clone();
-        let report = run_experiment(
-            &mut rtm,
-            &mut replay,
-            PlatformConfig::odroid_xu3_a15(),
-            frames,
-        )
-        .report;
-        // Misprediction over the post-warm-up half of the run.
-        let history = rtm.history();
-        let predicted: Vec<f64> = history[1..]
-            .iter()
-            .map(|r| r.predicted_total_cycles)
-            .collect();
-        let actual: Vec<f64> = history[1..].iter().map(|r| r.actual_total_cycles).collect();
-        let stats = MispredictionStats::from_series(&predicted, &actual);
-        rows.push(AblationRow {
-            label: format!(
-                "gamma = {gamma:.2} (misprediction {:.1}%)",
-                stats.mean_relative_error() * 100.0
-            ),
-            normalized_energy: report.normalized_energy(&oracle),
-            normalized_performance: report.normalized_performance(),
-            miss_rate: report.miss_rate(),
-            convergence_epochs: rtm.converged_at(),
-            explorations: explorations_of(&rtm),
+    const GAMMAS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 0.95];
+    let mut batch = ExperimentBatch::new();
+    {
+        let trace = trace.clone();
+        batch.push("ablation-gamma/oracle", move || {
+            ((oracle_reference(&trace, frames), None, 0), 0.0)
         });
     }
+    for gamma in GAMMAS {
+        let trace = trace.clone();
+        batch.push(format!("ablation-gamma/gamma={gamma}"), move || {
+            let mut config = RtmConfig::paper(seed);
+            config.smoothing = gamma;
+            let mut rtm = RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1))
+                .expect("valid config");
+            let mut replay = trace;
+            let report = run_experiment(
+                &mut rtm,
+                &mut replay,
+                PlatformConfig::odroid_xu3_a15(),
+                frames,
+            )
+            .report;
+            // Misprediction over the whole run (epoch 0 has none).
+            let history = rtm.history();
+            let predicted: Vec<f64> = history[1..]
+                .iter()
+                .map(|r| r.predicted_total_cycles)
+                .collect();
+            let actual: Vec<f64> = history[1..].iter().map(|r| r.actual_total_cycles).collect();
+            let stats = MispredictionStats::from_series(&predicted, &actual);
+            let cell = (report, rtm.converged_at(), explorations_of(&rtm));
+            (cell, stats.mean_relative_error())
+        });
+    }
+    let mut cells = batch.run(runner);
+    let ((oracle, _, _), _) = cells.remove(0);
+
+    let rows: Vec<AblationRow> = GAMMAS
+        .iter()
+        .zip(&cells)
+        .map(|(gamma, (cell, misprediction))| {
+            ablation_row(
+                format!(
+                    "gamma = {gamma:.2} (misprediction {:.1}%)",
+                    misprediction * 100.0
+                ),
+                cell,
+                &oracle,
+            )
+        })
+        .collect();
     let table = ablation_table(&rows, "EWMA smoothing");
     AblationResult { rows, table }
 }
 
-/// **Ablation** — the Section II-D claim that sharing one Q-table
-/// across cores converges faster: the proposed shared-table
-/// formulations versus Ge & Qiu's per-core independent tables.
+/// **Ablation** — shared versus per-core Q-tables, with the execution
+/// policy read from `QGOV_WORKERS`.
 #[must_use]
 pub fn run_shared_table_ablation(seed: u64, frames: u64) -> AblationResult {
+    run_shared_table_ablation_with(seed, frames, &RunnerConfig::from_env())
+}
+
+/// **Ablation** — the Section II-D claim that sharing one Q-table
+/// across cores converges faster, under an explicit [`RunnerConfig`]:
+/// the oracle reference, the two shared-table formulations and Ge &
+/// Qiu's per-core independent tables are four batch cells.
+#[must_use]
+pub fn run_shared_table_ablation_with(
+    seed: u64,
+    frames: u64,
+    runner: &RunnerConfig,
+) -> AblationResult {
     let mut app = VideoDecoderModel::h264_football_15fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
-    let oracle = oracle_reference(&trace, frames);
 
-    let mut rows = Vec::new();
+    let mut batch = ExperimentBatch::new();
     {
-        let (report, converged, explorations) =
-            run_rtm_vs_oracle(RtmConfig::paper(seed), &trace, bounds, frames);
-        rows.push(AblationRow {
-            label: "Shared Q-table, cluster state".into(),
-            normalized_energy: report.normalized_energy(&oracle),
-            normalized_performance: report.normalized_performance(),
-            miss_rate: report.miss_rate(),
-            convergence_epochs: converged,
-            explorations,
+        let trace = trace.clone();
+        batch.push("ablation-shared/oracle", move || {
+            (oracle_reference(&trace, frames), None, 0)
         });
     }
     {
-        let mut config = RtmConfig::paper(seed);
-        config.state_kind = StateKind::PerCoreShare;
-        let (report, converged, explorations) = run_rtm_vs_oracle(config, &trace, bounds, frames);
-        rows.push(AblationRow {
-            label: "Shared Q-table, round-robin per-core (Eq. 7)".into(),
-            normalized_energy: report.normalized_energy(&oracle),
-            normalized_performance: report.normalized_performance(),
-            miss_rate: report.miss_rate(),
-            convergence_epochs: converged,
-            explorations,
+        let trace = trace.clone();
+        batch.push("ablation-shared/cluster", move || {
+            run_rtm_vs_oracle(RtmConfig::paper(seed), &trace, bounds, frames)
         });
     }
     {
-        let mut gov = GeQiuGovernor::new(GeQiuConfig::paper(seed));
-        let mut replay = trace.clone();
-        let report = run_experiment(
-            &mut gov,
-            &mut replay,
-            PlatformConfig::odroid_xu3_a15(),
-            frames,
-        )
-        .report;
-        rows.push(AblationRow {
-            label: "Per-core independent tables [20]".into(),
-            normalized_energy: report.normalized_energy(&oracle),
-            normalized_performance: report.normalized_performance(),
-            miss_rate: report.miss_rate(),
-            convergence_epochs: gov.converged_at(),
-            explorations: gov.exploration_count(),
+        let trace = trace.clone();
+        batch.push("ablation-shared/per-core-share", move || {
+            let mut config = RtmConfig::paper(seed);
+            config.state_kind = StateKind::PerCoreShare;
+            run_rtm_vs_oracle(config, &trace, bounds, frames)
         });
     }
+    {
+        let trace = trace.clone();
+        batch.push("ablation-shared/geqiu", move || {
+            let mut gov = GeQiuGovernor::new(GeQiuConfig::paper(seed));
+            let mut replay = trace;
+            let report = run_experiment(
+                &mut gov,
+                &mut replay,
+                PlatformConfig::odroid_xu3_a15(),
+                frames,
+            )
+            .report;
+            (report, gov.converged_at(), gov.exploration_count())
+        });
+    }
+    let mut cells = batch.run(runner);
+    let (oracle, _, _) = cells.remove(0);
+
+    let labels = [
+        "Shared Q-table, cluster state",
+        "Shared Q-table, round-robin per-core (Eq. 7)",
+        "Per-core independent tables [20]",
+    ];
+    let rows: Vec<AblationRow> = labels
+        .iter()
+        .zip(&cells)
+        .map(|(label, cell)| ablation_row((*label).into(), cell, &oracle))
+        .collect();
     let table = ablation_table(&rows, "Formulation");
     AblationResult { rows, table }
 }
@@ -596,7 +774,8 @@ mod tests {
     use super::*;
 
     // Short-run smoke tests; the full-length shape assertions live in
-    // the workspace integration tests and the bench targets.
+    // the workspace integration tests and the bench targets, and the
+    // serial/parallel bit-identity in `tests/runner_determinism.rs`.
 
     #[test]
     fn table1_rows_are_complete_and_normalised() {
@@ -639,5 +818,12 @@ mod tests {
         let result = run_table3(1, 300);
         assert_eq!(result.rows.len(), 2);
         assert!(result.table.render().contains("Our approach"));
+    }
+
+    #[test]
+    fn explicit_runner_config_matches_default_path() {
+        let serial = run_table3_with(1, 200, &RunnerConfig::serial());
+        let parallel = run_table3_with(1, 200, &RunnerConfig::with_workers(2));
+        assert_eq!(serial.rows, parallel.rows);
     }
 }

@@ -1,4 +1,31 @@
 //! The experiment loop: governor × application × platform → report.
+//!
+//! [`run_experiment`] is the single-cell kernel every batched sweep in
+//! [`crate::runner`] bottoms out in: one governor driving one
+//! application on one freshly built platform. It takes `&mut` to both
+//! the governor and the application, and [`precharacterize`] likewise
+//! **mutates the application in place** (recording resets it and
+//! drains its frame iterator). A batch cell must therefore own a fresh
+//! application instance — in practice a [`WorkloadTrace`] clone —
+//! rather than share one across cells; debug builds assert that the
+//! application rewinds deterministically on `reset()`, which is the
+//! property that makes per-cell clones equivalent to reruns.
+//!
+//! ```
+//! use qgov_bench::harness::run_experiment;
+//! use qgov_governors::PerformanceGovernor;
+//! use qgov_sim::PlatformConfig;
+//! use qgov_units::{Cycles, SimTime};
+//! use qgov_workloads::SyntheticWorkload;
+//!
+//! let mut gov = PerformanceGovernor::new();
+//! let mut app = SyntheticWorkload::constant(
+//!     "demo", Cycles::from_mcycles(40), SimTime::from_ms(40), 30, 4, 0,
+//! );
+//! let outcome = run_experiment(&mut gov, &mut app, PlatformConfig::odroid_xu3_a15(), 30);
+//! assert_eq!(outcome.report.frames(), 30);
+//! assert_eq!(outcome.report.deadline_misses(), 0);
+//! ```
 
 use qgov_governors::{EpochObservation, Governor, GovernorContext, VfDecision};
 use qgov_metrics::RunReport;
@@ -63,10 +90,17 @@ fn to_work_slices(demand: &qgov_workloads::FrameDemand, cores: usize) -> Vec<Wor
 /// 4. charge the governor's processing overhead and the V-F transition
 ///    latency to the next frame (the paper's `T_OVH`).
 ///
+/// The application is mutated in place (reset, then driven to the
+/// frame cap), so a batched sweep must hand every cell its own
+/// instance — see the module docs and [`crate::runner`].
+///
 /// # Panics
 ///
 /// Panics if the platform configuration is invalid or a decision is out
 /// of range — both indicate programming errors in the experiment setup.
+/// Debug builds additionally panic if the application does not rewind
+/// deterministically on `reset()` (the symptom of a cell sharing — or
+/// having inherited dirty state from — another cell's application).
 pub fn run_experiment(
     governor: &mut dyn Governor,
     app: &mut dyn Application,
@@ -79,6 +113,7 @@ pub fn run_experiment(
     let ctx = GovernorContext::new(platform.opp_table().clone(), cores, period);
 
     app.reset();
+    debug_assert_resets_deterministically(app);
     let first = governor.init(&ctx);
     apply_decision(&mut platform, &first).expect("initial decision in range");
 
@@ -113,12 +148,43 @@ pub fn run_experiment(
     ExperimentOutcome { report, platform }
 }
 
+/// Debug-build guard for the serial/parallel seam: every batch cell
+/// must own a fresh application (or trace clone), and that only
+/// substitutes for a rerun when `reset()` rewinds to the identical
+/// frame sequence. Probes the first frame twice across a reset and
+/// leaves the application reset.
+fn debug_assert_resets_deterministically(app: &mut dyn Application) {
+    if cfg!(debug_assertions) && app.frames() > 0 {
+        let first = app.next_frame();
+        app.reset();
+        let again = app.next_frame();
+        app.reset();
+        assert_eq!(
+            first,
+            again,
+            "{}: Application::reset() must rewind deterministically; \
+             hand each batch cell a fresh app/trace instance instead of \
+             sharing one (see qgov_bench::runner)",
+            app.name()
+        );
+    }
+}
+
 /// Records `app` into a trace and returns `(trace, (min, max))` total
 /// cycles per frame — the offline pre-characterisation every learning
 /// governor and the Oracle receive (Section II-A's "design space
 /// exploration").
+///
+/// Recording **mutates `app` in place**: it is reset, fully drained and
+/// reset again. Call this once per experiment and give every batch
+/// cell its own clone of the returned trace — never the live `app` —
+/// so parallel cells cannot observe each other's cursor state. Debug
+/// builds assert the application rewinds deterministically on
+/// `reset()`, the property that makes trace clones equivalent to
+/// reruns.
 #[must_use]
 pub fn precharacterize(app: &mut dyn Application) -> (WorkloadTrace, (f64, f64)) {
+    debug_assert_resets_deterministically(app);
     let trace = WorkloadTrace::record(app);
     let mut min = f64::INFINITY;
     let mut max: f64 = 0.0;
@@ -238,6 +304,54 @@ mod tests {
         assert!(min > 0.0);
         // Constant workload: bounds are the widened +-10 %.
         assert!((max / min - 1.1 / 0.9).abs() < 0.03);
+    }
+
+    /// An application whose `reset()` does not rewind — the failure
+    /// mode of sharing one live app across batch cells.
+    #[cfg(debug_assertions)]
+    struct NonRewindingApp {
+        counter: u64,
+    }
+
+    #[cfg(debug_assertions)]
+    impl qgov_workloads::Application for NonRewindingApp {
+        fn name(&self) -> &str {
+            "non-rewinding"
+        }
+        fn period(&self) -> SimTime {
+            SimTime::from_ms(40)
+        }
+        fn frames(&self) -> u64 {
+            5
+        }
+        fn next_frame(&mut self) -> qgov_workloads::FrameDemand {
+            self.counter += 1;
+            qgov_workloads::FrameDemand::split_evenly(
+                Cycles::from_mcycles(self.counter),
+                2,
+                SimTime::ZERO,
+            )
+        }
+        fn reset(&mut self) {
+            // Deliberately keeps its cursor: replaying diverges.
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "rewind deterministically")]
+    fn non_rewinding_app_is_caught_in_debug_builds() {
+        let mut gov = PerformanceGovernor::new();
+        let mut app = NonRewindingApp { counter: 0 };
+        let _ = run_experiment(&mut gov, &mut app, quiet_config(), 5);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "rewind deterministically")]
+    fn precharacterize_catches_non_rewinding_app() {
+        let mut app = NonRewindingApp { counter: 0 };
+        let _ = precharacterize(&mut app);
     }
 
     #[test]

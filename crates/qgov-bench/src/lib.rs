@@ -18,11 +18,37 @@
 //! | N-levels ablation | [`experiments::run_state_levels_ablation`] | `ablation_state_levels` |
 //! | EWMA-γ ablation | [`experiments::run_smoothing_ablation`] | `ablation_smoothing` |
 //! | Shared-table ablation | [`experiments::run_shared_table_ablation`] | `ablation_shared_table` |
+//!
+//! # Batched execution
+//!
+//! Experiment grids are embarrassingly parallel across their
+//! (governor × seed × frames) cells, so every experiment function
+//! expresses its cells through [`runner::ExperimentBatch`] and takes a
+//! [`runner::RunnerConfig`] (via its `*_with` variant) choosing serial
+//! or parallel execution. The runner returns results in push order and
+//! every cell owns its state, so **the parallel and serial paths are
+//! bit-identical for identical seeds** — the guarantee the recorded
+//! baselines in `EXPERIMENTS.md` rely on, enforced by
+//! `tests/runner_determinism.rs`.
+//!
+//! ```
+//! use qgov_bench::experiments::{run_table1, run_table1_with};
+//! use qgov_bench::runner::RunnerConfig;
+//!
+//! let serial = run_table1_with(7, 60, &RunnerConfig::serial());
+//! let parallel = run_table1_with(7, 60, &RunnerConfig::with_workers(2));
+//! assert_eq!(serial.rows, parallel.rows); // bit-identical cells
+//!
+//! // The seed-only form reads QGOV_WORKERS (default: parallel).
+//! assert_eq!(run_table1(7, 60).rows.len(), 4);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod runner;
 
 pub use harness::{run_experiment, ExperimentOutcome};
+pub use runner::{ExperimentBatch, RunnerConfig, RunnerMode};

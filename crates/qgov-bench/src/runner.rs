@@ -1,0 +1,496 @@
+//! Batched, parallel experiment execution.
+//!
+//! Every table, figure and ablation of the paper expands into a grid of
+//! *cells* — independent (governor × seed × frames) experiment runs that
+//! share no mutable state. [`ExperimentBatch`] collects those cells as
+//! closures and [`ExperimentBatch::run`] drains them either inline on
+//! the calling thread ([`RunnerConfig::serial`]) or through a
+//! self-scheduling job queue worked by scoped threads
+//! ([`RunnerConfig::parallel`]): each idle worker claims the next
+//! unclaimed cell, so long cells never leave a worker parked the way a
+//! static round-robin split would.
+//!
+//! # Determinism guarantee
+//!
+//! Results come back **in push order, not completion order**, and every
+//! cell constructs its own governor, platform and trace replay from its
+//! own inputs. A batch therefore produces *bit-identical* output
+//! whether it runs serially, with one worker, or with many — the
+//! property tests in this module and `tests/runner_determinism.rs`
+//! enforce exactly that, and it is what lets the bench targets default
+//! to parallel execution without perturbing recorded baselines.
+//!
+//! ```
+//! use qgov_bench::runner::{ExperimentBatch, RunnerConfig};
+//!
+//! // Any Send closure can be a cell; experiments push whole runs.
+//! let build = || {
+//!     let mut batch = ExperimentBatch::new();
+//!     for cell in 0..8u64 {
+//!         batch.push(format!("cell-{cell}"), move || cell * cell + 1);
+//!     }
+//!     batch
+//! };
+//!
+//! let serial = build().run(&RunnerConfig::serial());
+//! let parallel = build().run(&RunnerConfig::with_workers(3));
+//! assert_eq!(serial, parallel); // push order, bit-identical
+//! assert_eq!(serial[3], 10);
+//! ```
+//!
+//! Each cell must own a **fresh** application or trace clone:
+//! [`crate::harness::precharacterize`] and the experiment loop mutate
+//! the [`Application`](qgov_workloads::Application) in place (cursor
+//! advance, reset), so sharing one instance across cells would make the
+//! outcome depend on scheduling. Rust's `&mut` aliasing rules already
+//! forbid *concurrent* sharing; the debug assertions in
+//! [`crate::harness`] additionally catch applications whose `reset()`
+//! does not rewind deterministically.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How a batch is executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerMode {
+    /// Drain cells inline on the calling thread, in push order. No
+    /// threads are spawned.
+    Serial,
+    /// Drain cells through the shared job queue with `workers` scoped
+    /// threads; `None` asks the host
+    /// ([`std::thread::available_parallelism`]) for the worker count.
+    Parallel {
+        /// Worker thread count; `None` = one per available core.
+        workers: Option<NonZeroUsize>,
+    },
+}
+
+/// Execution policy for [`ExperimentBatch::run`]: serial or parallel,
+/// and with how many workers.
+///
+/// Bench targets and tests construct this explicitly
+/// ([`RunnerConfig::serial`], [`RunnerConfig::with_workers`]) or from
+/// the environment ([`RunnerConfig::from_env`], reading `QGOV_WORKERS`).
+/// The choice never changes results — see the module docs'
+/// determinism guarantee — only wall-clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunnerConfig {
+    mode: RunnerMode,
+}
+
+impl Default for RunnerConfig {
+    /// Defaults to parallel with one worker per available core.
+    fn default() -> Self {
+        RunnerConfig::parallel()
+    }
+}
+
+impl RunnerConfig {
+    /// Inline execution on the calling thread.
+    #[must_use]
+    pub fn serial() -> Self {
+        RunnerConfig {
+            mode: RunnerMode::Serial,
+        }
+    }
+
+    /// Parallel execution with one worker per available core.
+    #[must_use]
+    pub fn parallel() -> Self {
+        RunnerConfig {
+            mode: RunnerMode::Parallel { workers: None },
+        }
+    }
+
+    /// Parallel execution with exactly `workers` worker threads
+    /// (`with_workers(1)` is the degenerate single-worker queue, useful
+    /// for isolating queue behaviour from concurrency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero — use [`RunnerConfig::serial`] for
+    /// no-thread execution.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = NonZeroUsize::new(workers).expect("worker count must be at least 1");
+        RunnerConfig {
+            mode: RunnerMode::Parallel {
+                workers: Some(workers),
+            },
+        }
+    }
+
+    /// Reads the policy from the `QGOV_WORKERS` environment variable:
+    /// `"serial"` or `"0"` selects [`RunnerConfig::serial`], a positive
+    /// integer selects that many workers, and anything else (including
+    /// the variable being unset) selects [`RunnerConfig::parallel`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("QGOV_WORKERS") {
+            Ok(value) => Self::parse(&value),
+            Err(_) => RunnerConfig::parallel(),
+        }
+    }
+
+    /// Parses a `QGOV_WORKERS`-style value (see
+    /// [`RunnerConfig::from_env`] for the accepted forms). An
+    /// unrecognised value falls back to [`RunnerConfig::parallel`]
+    /// with a warning on stderr, so a typo (`seria1`, `-1`) cannot
+    /// silently masquerade as a forced-serial run.
+    #[must_use]
+    pub fn parse(value: &str) -> Self {
+        let value = value.trim();
+        if value.eq_ignore_ascii_case("serial") || value == "0" {
+            return RunnerConfig::serial();
+        }
+        match value.parse::<usize>() {
+            Ok(n) if n >= 1 => RunnerConfig::with_workers(n),
+            _ => {
+                if !value.is_empty() {
+                    eprintln!(
+                        "warning: unrecognised QGOV_WORKERS value {value:?} \
+                         (expected \"serial\", \"0\" or a worker count); \
+                         using the parallel default"
+                    );
+                }
+                RunnerConfig::parallel()
+            }
+        }
+    }
+
+    /// The configured execution mode.
+    #[must_use]
+    pub fn mode(&self) -> &RunnerMode {
+        &self.mode
+    }
+
+    /// `true` when [`ExperimentBatch::run`] will not spawn threads.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.mode == RunnerMode::Serial
+    }
+
+    /// Human-readable description for experiment banners, e.g.
+    /// `"serial"` or `"parallel (3 workers)"`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match &self.mode {
+            RunnerMode::Serial => "serial".to_owned(),
+            RunnerMode::Parallel { workers: Some(n) } => format!("parallel ({n} workers)"),
+            RunnerMode::Parallel { workers: None } => {
+                format!("parallel (auto: {} workers)", available_workers())
+            }
+        }
+    }
+
+    /// Worker threads `run` will spawn for a batch of `jobs` cells:
+    /// `None` for serial, otherwise the configured (or detected) count
+    /// capped at the job count.
+    fn resolved_workers(&self, jobs: usize) -> Option<usize> {
+        match &self.mode {
+            RunnerMode::Serial => None,
+            RunnerMode::Parallel { workers } => {
+                let n = workers.map_or_else(available_workers, NonZeroUsize::get);
+                Some(n.min(jobs).max(1))
+            }
+        }
+    }
+}
+
+fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Reads an experiment length override from the `QGOV_FRAMES`
+/// environment variable, falling back to `default` when unset,
+/// unparsable or zero (a zero-frame experiment is meaningless — unlike
+/// `QGOV_WORKERS`, where `0` means serial). The bench targets use this
+/// so full-length (3000-frame) and quick runs share one binary.
+#[must_use]
+pub fn frames_from_env(default: u64) -> u64 {
+    std::env::var("QGOV_FRAMES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&frames| frames > 0)
+        .unwrap_or(default)
+}
+
+/// One queued cell: its display label and the deferred run.
+type Job<'a, R> = (String, Box<dyn FnOnce() -> R + Send + 'a>);
+
+/// A builder that collects experiment cells and runs them under a
+/// [`RunnerConfig`], returning results in push order (see the module
+/// docs for the determinism guarantee).
+///
+/// Cells are plain `FnOnce() -> R + Send` closures; each must capture
+/// everything it needs by value (trace clones, configs, seeds) so no
+/// mutable state crosses cells.
+pub struct ExperimentBatch<'a, R> {
+    jobs: Vec<Job<'a, R>>,
+}
+
+impl<R> std::fmt::Debug for ExperimentBatch<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentBatch")
+            .field(
+                "cells",
+                &self
+                    .jobs
+                    .iter()
+                    .map(|(label, _)| label.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl<R: Send> Default for ExperimentBatch<'_, R> {
+    fn default() -> Self {
+        ExperimentBatch::new()
+    }
+}
+
+impl<'a, R: Send> ExperimentBatch<'a, R> {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        ExperimentBatch { jobs: Vec::new() }
+    }
+
+    /// Queues one cell; returns its index (= its slot in the result
+    /// vector of [`ExperimentBatch::run`]).
+    pub fn push(&mut self, label: impl Into<String>, job: impl FnOnce() -> R + Send + 'a) -> usize {
+        self.jobs.push((label.into(), Box::new(job)));
+        self.jobs.len() - 1
+    }
+
+    /// Expands the full (governor × seed × frames) cross product into
+    /// cells, one `factory(governor, seed, frames)` call each, in
+    /// lexicographic loop order (governors outermost, frames
+    /// innermost).
+    ///
+    /// ```
+    /// use qgov_bench::runner::{ExperimentBatch, RunnerConfig};
+    ///
+    /// let mut batch = ExperimentBatch::new();
+    /// batch.expand_cells(
+    ///     &["ondemand", "rtm"],
+    ///     &[1, 2, 3],
+    ///     &[100],
+    ///     |governor, seed, frames| format!("{governor}:{seed}:{frames}"),
+    /// );
+    /// assert_eq!(batch.len(), 6);
+    /// let results = batch.run(&RunnerConfig::with_workers(2));
+    /// assert_eq!(results[0], "ondemand:1:100");
+    /// assert_eq!(results[5], "rtm:3:100");
+    /// ```
+    pub fn expand_cells<F>(
+        &mut self,
+        governors: &[&str],
+        seeds: &[u64],
+        frames: &[u64],
+        factory: F,
+    ) -> &mut Self
+    where
+        F: Fn(&str, u64, u64) -> R + Send + Sync + 'a,
+    {
+        let factory = Arc::new(factory);
+        for &governor in governors {
+            for &seed in seeds {
+                for &frame_count in frames {
+                    let factory = Arc::clone(&factory);
+                    let governor = governor.to_owned();
+                    self.push(format!("{governor}/seed={seed}/frames={frame_count}"), {
+                        move || factory(&governor, seed, frame_count)
+                    });
+                }
+            }
+        }
+        self
+    }
+
+    /// Number of queued cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when no cells are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The queued cells' labels, in push order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.jobs.iter().map(|(label, _)| label.as_str())
+    }
+
+    /// Runs every cell and returns the results **in push order**
+    /// regardless of completion order. An empty batch returns an empty
+    /// vector without spawning anything.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic of any cell once all workers have
+    /// finished (via [`std::thread::scope`]).
+    #[must_use]
+    pub fn run(self, config: &RunnerConfig) -> Vec<R> {
+        let total = self.jobs.len();
+        let Some(workers) = config.resolved_workers(total) else {
+            // Serial: drain inline, no threads.
+            return self.jobs.into_iter().map(|(_, job)| job()).collect();
+        };
+        if total == 0 {
+            return Vec::new();
+        }
+
+        // Self-scheduling queue: `next` hands each claimed index to
+        // exactly one worker; results land in their per-index slot, so
+        // output order is push order however scheduling interleaves.
+        let jobs: Vec<Mutex<Option<Job<'a, R>>>> =
+            self.jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let (_, job) = jobs[index]
+                        .lock()
+                        .expect("job mutex poisoned")
+                        .take()
+                        .expect("each job index is claimed exactly once");
+                    let result = job();
+                    *slots[index].lock().expect("result mutex poisoned") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result mutex poisoned")
+                    .expect("every claimed job stores its result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn squares_batch<'a>(n: u64) -> ExperimentBatch<'a, u64> {
+        let mut batch = ExperimentBatch::new();
+        for i in 0..n {
+            batch.push(format!("cell-{i}"), move || i * i);
+        }
+        batch
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        assert!(squares_batch(0).run(&RunnerConfig::serial()).is_empty());
+        assert!(squares_batch(0).run(&RunnerConfig::parallel()).is_empty());
+        assert!(squares_batch(0)
+            .run(&RunnerConfig::with_workers(4))
+            .is_empty());
+    }
+
+    #[test]
+    fn single_worker_degenerate_case_preserves_order() {
+        let results = squares_batch(10).run(&RunnerConfig::with_workers(1));
+        assert_eq!(results, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_are_in_push_order_despite_uneven_cell_durations() {
+        let mut batch = ExperimentBatch::new();
+        for i in 0..12u64 {
+            batch.push(format!("cell-{i}"), move || {
+                // Early cells run longest so late cells finish first.
+                std::thread::sleep(std::time::Duration::from_millis(12 - i));
+                i
+            });
+        }
+        let results = batch.run(&RunnerConfig::with_workers(4));
+        assert_eq!(results, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let results = squares_batch(2).run(&RunnerConfig::with_workers(16));
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn expand_cells_covers_the_cross_product_in_loop_order() {
+        let mut batch = ExperimentBatch::new();
+        batch.expand_cells(&["a", "b"], &[1, 2], &[10, 20], |g, s, f| {
+            format!("{g}{s}-{f}")
+        });
+        assert_eq!(batch.len(), 8);
+        let labels: Vec<String> = batch.labels().map(str::to_owned).collect();
+        assert_eq!(labels[0], "a/seed=1/frames=10");
+        assert_eq!(labels[7], "b/seed=2/frames=20");
+        let results = batch.run(&RunnerConfig::serial());
+        assert_eq!(results[0], "a1-10");
+        assert_eq!(results[3], "a2-20");
+        assert_eq!(results[7], "b2-20");
+    }
+
+    #[test]
+    fn parse_accepts_serial_zero_and_counts() {
+        assert!(RunnerConfig::parse("serial").is_serial());
+        assert!(RunnerConfig::parse("SERIAL").is_serial());
+        assert!(RunnerConfig::parse("0").is_serial());
+        assert_eq!(RunnerConfig::parse("3"), RunnerConfig::with_workers(3));
+        assert_eq!(RunnerConfig::parse(" 5 "), RunnerConfig::with_workers(5));
+        assert_eq!(RunnerConfig::parse("garbage"), RunnerConfig::parallel());
+        assert_eq!(RunnerConfig::parse(""), RunnerConfig::parallel());
+    }
+
+    #[test]
+    fn describe_names_the_mode() {
+        assert_eq!(RunnerConfig::serial().describe(), "serial");
+        assert_eq!(
+            RunnerConfig::with_workers(3).describe(),
+            "parallel (3 workers)"
+        );
+        assert!(RunnerConfig::parallel().describe().starts_with("parallel"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_workers_panics() {
+        let _ = RunnerConfig::with_workers(0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // The determinism guarantee at the queue level: any job count ×
+        // worker count produces exactly the serial result vector.
+        #[test]
+        fn parallel_equals_serial_for_any_shape(jobs in 0usize..40, workers in 1usize..6) {
+            let build = || {
+                let mut batch = ExperimentBatch::new();
+                for i in 0..jobs {
+                    batch.push(format!("j{i}"), move || (i as u64) * 31 + 7);
+                }
+                batch
+            };
+            let serial = build().run(&RunnerConfig::serial());
+            let parallel = build().run(&RunnerConfig::with_workers(workers));
+            prop_assert_eq!(serial, parallel);
+        }
+    }
+}

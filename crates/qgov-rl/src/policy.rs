@@ -230,7 +230,7 @@ fn highest_freq_action(freqs: &[f64]) -> usize {
 }
 
 /// The Uniform Probability Distribution baseline of prior work
-/// (e.g. Shen et al., TODAES 2013 — reference [21] of the paper).
+/// (e.g. Shen et al., TODAES 2013 — reference \[21\] of the paper).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UniformPolicy;

@@ -43,7 +43,7 @@
 //! | [`governors`] | the `Governor` trait, ondemand, conservative, oracle, Ge&Qiu, … |
 //! | [`core`] | the paper's RTM: `RtmGovernor` + `RtmConfig` |
 //! | [`metrics`] | run reports, misprediction stats, tables, series |
-//! | [`bench`] | the experiment harness and per-table experiment functions |
+//! | [`mod@bench`] | the experiment harness, batched parallel runner, per-table experiment functions |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,10 +61,13 @@ pub mod prelude {
     //! The types almost every experiment needs.
 
     pub use qgov_bench::experiments::{
-        run_fig3, run_shared_table_ablation, run_smoothing_ablation, run_state_levels_ablation,
-        run_table1, run_table2, run_table3,
+        run_fig3, run_fig3_with, run_shared_table_ablation, run_shared_table_ablation_with,
+        run_smoothing_ablation, run_smoothing_ablation_with, run_state_levels_ablation,
+        run_state_levels_ablation_with, run_table1, run_table1_with, run_table2, run_table2_with,
+        run_table3, run_table3_with,
     };
     pub use qgov_bench::harness::{precharacterize, run_experiment, ExperimentOutcome};
+    pub use qgov_bench::runner::{frames_from_env, ExperimentBatch, RunnerConfig, RunnerMode};
     pub use qgov_core::{ExplorationKind, RtmConfig, RtmGovernor, StateKind};
     pub use qgov_governors::{
         ConservativeGovernor, EpochObservation, GeQiuConfig, GeQiuGovernor, Governor,

@@ -1,0 +1,111 @@
+//! The batched runner's determinism guarantee, end to end: for
+//! identical seeds, every table/figure/ablation report produced by the
+//! parallel runner is **bit-identical** to the serial runner's output.
+//!
+//! CI re-runs this file with `QGOV_WORKERS=3` so a non-default worker
+//! count exercises the same assertions; [`parallel_config`] honours
+//! that override and otherwise pins 2 workers.
+
+use qgov::prelude::*;
+
+/// The parallel side of every comparison: `QGOV_WORKERS` if it names a
+/// worker count (as the CI matrix does), else 2 workers.
+fn parallel_config() -> RunnerConfig {
+    let from_env = RunnerConfig::from_env();
+    if from_env.is_serial() {
+        RunnerConfig::with_workers(2)
+    } else {
+        from_env
+    }
+}
+
+#[test]
+fn table1_parallel_is_bit_identical_to_serial_across_seeds() {
+    for seed in [2017, 5, 77] {
+        let serial = run_table1_with(seed, 250, &RunnerConfig::serial());
+        let parallel = run_table1_with(seed, 250, &parallel_config());
+        assert_eq!(serial.rows, parallel.rows, "seed {seed}");
+        assert_eq!(serial.table.render(), parallel.table.render());
+        // f64 equality above already rejects any drift; make the
+        // bit-identity explicit on the raw energy values.
+        for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(
+                s.energy_joules.to_bits(),
+                p.energy_joules.to_bits(),
+                "seed {seed}, method {}",
+                s.method
+            );
+            assert_eq!(s.normalized_energy.to_bits(), p.normalized_energy.to_bits());
+        }
+    }
+}
+
+#[test]
+fn table2_and_table3_parallel_match_serial() {
+    for seed in [2017, 5, 77] {
+        let serial = run_table2_with(seed, 300, &RunnerConfig::serial());
+        let parallel = run_table2_with(seed, 300, &parallel_config());
+        assert_eq!(serial.rows, parallel.rows, "table2 seed {seed}");
+
+        let serial = run_table3_with(seed, 300, &RunnerConfig::serial());
+        let parallel = run_table3_with(seed, 300, &parallel_config());
+        assert_eq!(serial.rows, parallel.rows, "table3 seed {seed}");
+    }
+}
+
+#[test]
+fn fig3_series_parallel_match_serial() {
+    for seed in [2017, 5] {
+        let serial = run_fig3_with(seed, 150, &RunnerConfig::serial());
+        let parallel = run_fig3_with(seed, 150, &parallel_config());
+        // The CSV embeds every predicted/actual/slack sample verbatim:
+        // string equality is bit-identity of the whole figure.
+        assert_eq!(serial.csv, parallel.csv, "seed {seed}");
+        assert_eq!(
+            serial.early_misprediction.to_bits(),
+            parallel.early_misprediction.to_bits()
+        );
+        assert_eq!(
+            serial.late_misprediction.to_bits(),
+            parallel.late_misprediction.to_bits()
+        );
+        assert_eq!(serial.mispredicted_frames, parallel.mispredicted_frames);
+    }
+}
+
+#[test]
+fn ablations_parallel_match_serial() {
+    let serial = run_shared_table_ablation_with(7, 250, &RunnerConfig::serial());
+    let parallel = run_shared_table_ablation_with(7, 250, &parallel_config());
+    assert_eq!(serial.rows, parallel.rows);
+    assert_eq!(serial.table.render(), parallel.table.render());
+
+    let serial = run_state_levels_ablation_with(7, 200, &RunnerConfig::serial());
+    let parallel = run_state_levels_ablation_with(7, 200, &parallel_config());
+    assert_eq!(serial.rows, parallel.rows);
+
+    let serial = run_smoothing_ablation_with(7, 200, &RunnerConfig::serial());
+    let parallel = run_smoothing_ablation_with(7, 200, &parallel_config());
+    assert_eq!(serial.rows, parallel.rows);
+}
+
+#[test]
+fn single_worker_queue_matches_serial_and_many_workers() {
+    let serial = run_table1_with(11, 200, &RunnerConfig::serial());
+    let one = run_table1_with(11, 200, &RunnerConfig::with_workers(1));
+    let many = run_table1_with(11, 200, &RunnerConfig::with_workers(8));
+    assert_eq!(serial.rows, one.rows);
+    assert_eq!(serial.rows, many.rows);
+}
+
+#[test]
+fn empty_batch_runs_under_every_policy() {
+    for config in [
+        RunnerConfig::serial(),
+        RunnerConfig::parallel(),
+        RunnerConfig::with_workers(3),
+    ] {
+        let batch: ExperimentBatch<'_, u64> = ExperimentBatch::new();
+        assert!(batch.run(&config).is_empty(), "{}", config.describe());
+    }
+}
