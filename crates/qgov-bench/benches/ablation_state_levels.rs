@@ -7,21 +7,23 @@
 //!
 //! Run with `cargo bench -p qgov-bench --bench ablation_state_levels`.
 //! `QGOV_FRAMES` overrides the run length; `QGOV_WORKERS` picks the
-//! runner policy (`serial`, a worker count, default one per core).
+//! runner policy (`serial`, a worker count, default one per core);
+//! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
+//! default one seed, matching the recorded single-run baselines).
 
-use qgov_bench::experiments::run_state_levels_ablation_with;
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use qgov_bench::sweep::{run_state_levels_ablation_sweep_with, SeedSweep};
 use std::time::Instant;
 
 fn main() {
     let frames = frames_from_env(3_000);
-    let seed = 2017;
+    let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
     println!("== Ablation: state discretisation levels N ==");
-    println!("   H.264 football, {frames} frames, seed {seed}");
+    println!("   H.264 football, {frames} frames, {}", sweep.describe());
     println!("   runner: {}\n", runner.describe());
     let start = Instant::now();
-    let result = run_state_levels_ablation_with(seed, frames, &runner);
+    let result = run_state_levels_ablation_sweep_with(&sweep, frames, &runner);
     let elapsed = start.elapsed();
     println!("{}", result.table.render());
     println!("expectation: small N converges fast but controls coarsely;");

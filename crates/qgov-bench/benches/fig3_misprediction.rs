@@ -1,50 +1,57 @@
 //! Regenerates **Fig. 3** of Biswas et al., DATE 2017: workload
 //! misprediction for MPEG4 decoding at 24 fps (EWMA γ = 0.6) and the
 //! learning impact on the average slack ratio. Prints the headline
-//! statistics and writes the full series to
+//! statistics and writes the base seed's full series to
 //! `target/fig3_misprediction.csv` for plotting.
 //!
 //! Run with `cargo bench -p qgov-bench --bench fig3_misprediction`.
 //! `QGOV_FRAMES` overrides the run length (the paper's figure shows the
 //! first 240 frames; the recorded baseline uses the full 3000);
-//! `QGOV_WORKERS` picks the runner policy.
+//! `QGOV_WORKERS` picks the runner policy; `QGOV_SEEDS` the seed sweep
+//! (a count or a comma-separated list; default one seed, matching the
+//! recorded single-run baselines).
 
-use qgov_bench::experiments::run_fig3_with;
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use qgov_bench::sweep::{run_fig3_sweep_with, SeedSweep};
 use std::time::Instant;
 
 fn main() {
     let frames = frames_from_env(3_000);
-    let seed = 2017;
+    let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
     println!("== Fig. 3: workload misprediction and learning impact on slack ==");
-    println!("   MPEG4 SVGA at 24 fps, gamma = 0.6, {frames} frames, seed {seed}");
+    println!(
+        "   MPEG4 SVGA at 24 fps, gamma = 0.6, {frames} frames, {}",
+        sweep.describe()
+    );
     println!("   (scene change scripted at frame 90, as in the paper's sequence)");
     println!("   runner: {}\n", runner.describe());
     let start = Instant::now();
-    let result = run_fig3_with(seed, frames, &runner);
+    let result = run_fig3_sweep_with(&sweep, frames, &runner);
     let elapsed = start.elapsed();
 
-    println!(
-        "average misprediction, frames 1-100:   {:.1}%  (paper: ~8%)",
-        result.early_misprediction * 100.0
-    );
-    println!(
-        "average misprediction, frames 100-{}: {:.1}%  (paper: ~3%)",
-        frames,
-        result.late_misprediction * 100.0
-    );
-    println!(
-        "frames with >15% misprediction: {:?}",
-        result.mispredicted_frames
-    );
+    println!("{}", result.table.render());
+    println!("paper reference: early ~8%, late ~3%");
+    let first = &result.per_seed[0];
+    if result.seeds.len() == 1 {
+        println!(
+            "frames with >15% misprediction: {:?}",
+            first.mispredicted_frames
+        );
+    }
 
+    // The plottable series is inherently per-seed; write the first
+    // (base) seed's CSV, as the single-run baseline always has.
     let out = std::path::Path::new("target").join("fig3_misprediction.csv");
     if let Some(parent) = out.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    match std::fs::write(&out, &result.csv) {
-        Ok(()) => println!("\nfull series written to {}", out.display()),
+    match std::fs::write(&out, &first.csv) {
+        Ok(()) => println!(
+            "\nfull series (seed {}) written to {}",
+            result.seeds[0],
+            out.display()
+        ),
         Err(e) => println!("\ncould not write {}: {e}", out.display()),
     }
     println!("wall-clock: {elapsed:.2?} ({})", runner.describe());

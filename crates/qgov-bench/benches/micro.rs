@@ -3,9 +3,14 @@
 //! (prediction, state mapping, Bellman update, action selection) and a
 //! full simulated decision epoch.
 //!
-//! Run with `cargo bench -p qgov-bench --bench micro`.
+//! Run with `cargo bench -p qgov-bench --bench micro`. `QGOV_SEEDS`
+//! sets the number of measurement passes: timings have no RNG seed to
+//! sweep, so the seed count maps to timed repetitions and the output
+//! reports `mean ± σ ns/iter` across them — the same spread-aware
+//! surface the experiment sweeps expose.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{BatchSize, Criterion};
+use qgov_bench::sweep::SeedSweep;
 use qgov_rl::Discretizer as _;
 use qgov_rl::{
     ActionContext, EpdPolicy, EwmaPredictor, ExplorationPolicy, Predictor, QTable,
@@ -135,14 +140,25 @@ fn bench_full_decision_epoch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_q_update,
-    bench_greedy_scan,
-    bench_epd_selection,
-    bench_ewma,
-    bench_discretize,
-    bench_platform_frame,
-    bench_full_decision_epoch,
-);
-criterion_main!(benches);
+fn main() {
+    // QGOV_SEEDS=n -> n timed passes per benchmark (one pass, today's
+    // single-number output, when unset).
+    let passes = SeedSweep::from_env(2017).n() as u64;
+    if passes > 1 {
+        println!("== micro: {passes} measurement passes per benchmark (QGOV_SEEDS) ==\n");
+    }
+    let mut criterion = Criterion::default()
+        .configure_from_args()
+        .with_repeats(passes);
+    for bench in [
+        bench_q_update,
+        bench_greedy_scan,
+        bench_epd_selection,
+        bench_ewma,
+        bench_discretize,
+        bench_platform_frame,
+        bench_full_decision_epoch,
+    ] {
+        bench(&mut criterion);
+    }
+}

@@ -6,21 +6,26 @@
 //!
 //! Run with `cargo bench -p qgov-bench --bench table3_overhead`.
 //! `QGOV_FRAMES` overrides the run length; `QGOV_WORKERS` picks the
-//! runner policy (`serial`, a worker count, default one per core).
+//! runner policy (`serial`, a worker count, default one per core);
+//! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
+//! default one seed, matching the recorded single-run baselines).
 
-use qgov_bench::experiments::run_table3_with;
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use qgov_bench::sweep::{run_table3_sweep_with, SeedSweep};
 use std::time::Instant;
 
 fn main() {
     let frames = frames_from_env(3_000);
-    let seed = 2017;
+    let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
     println!("== Table III: comparative worst-case learning overhead ==");
-    println!("   ffmpeg-style MPEG4 decode, T_ref = 31 ms, {frames} frames, seed {seed}");
+    println!(
+        "   ffmpeg-style MPEG4 decode, T_ref = 31 ms, {frames} frames, {}",
+        sweep.describe()
+    );
     println!("   runner: {}\n", runner.describe());
     let start = Instant::now();
-    let result = run_table3_with(seed, frames, &runner);
+    let result = run_table3_sweep_with(&sweep, frames, &runner);
     let elapsed = start.elapsed();
     println!("{}", result.table.render());
     println!("paper reference (measured on ODROID-XU3):");

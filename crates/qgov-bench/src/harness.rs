@@ -30,7 +30,7 @@
 use qgov_governors::{EpochObservation, Governor, GovernorContext, VfDecision};
 use qgov_metrics::RunReport;
 use qgov_sim::{Platform, PlatformConfig, SimError, VfDomain, WorkSlice};
-use qgov_workloads::{Application, WorkloadTrace};
+use qgov_workloads::{Application, FrameDemand, WorkloadTrace};
 
 /// Everything a finished run yields: the metrics report plus the
 /// platform in its final state (for inspecting transitions, PMUs,
@@ -113,7 +113,7 @@ pub fn run_experiment(
     let ctx = GovernorContext::new(platform.opp_table().clone(), cores, period);
 
     app.reset();
-    debug_assert_resets_deterministically(app);
+    let pristine_first = debug_probe_reset_determinism(app);
     let first = governor.init(&ctx);
     apply_decision(&mut platform, &first).expect("initial decision in range");
 
@@ -145,15 +145,18 @@ pub fn run_experiment(
         platform.vf().total_latency(),
         platform.peak_temperature(),
     );
+    debug_assert_no_run_state_bleed(app, pristine_first.as_ref(), total);
     ExperimentOutcome { report, platform }
 }
 
 /// Debug-build guard for the serial/parallel seam: every batch cell
 /// must own a fresh application (or trace clone), and that only
 /// substitutes for a rerun when `reset()` rewinds to the identical
-/// frame sequence. Probes the first frame twice across a reset and
-/// leaves the application reset.
-fn debug_assert_resets_deterministically(app: &mut dyn Application) {
+/// frame sequence. Probes the first frame twice across a reset,
+/// leaves the application reset, and returns the probed frame (debug
+/// builds only) so [`debug_assert_no_run_state_bleed`] can re-check it
+/// after the run.
+fn debug_probe_reset_determinism(app: &mut dyn Application) -> Option<FrameDemand> {
     if cfg!(debug_assertions) && app.frames() > 0 {
         let first = app.next_frame();
         app.reset();
@@ -167,6 +170,46 @@ fn debug_assert_resets_deterministically(app: &mut dyn Application) {
              sharing one (see qgov_bench::runner)",
             app.name()
         );
+        Some(first)
+    } else {
+        None
+    }
+}
+
+/// Debug-build guard for the cross-seed seam of a multi-seed batch:
+/// after a full run, `reset()` must still rewind to the *pristine*
+/// frame sequence probed before the run. An application that passes
+/// the entry probe but fails here carries state its runs mutate and
+/// its `reset()` does not clear — exactly the mechanism by which one
+/// seed's cell would bleed into a later cell handed the same instance
+/// (a sweep aggregating such an app would depend on cell scheduling).
+/// Leaves the application where the release path leaves it: advanced
+/// by `total` frames.
+fn debug_assert_no_run_state_bleed(
+    app: &mut dyn Application,
+    pristine_first: Option<&FrameDemand>,
+    total: u64,
+) {
+    // `pristine_first` is `Some` only in debug builds (see
+    // `debug_probe_reset_determinism`).
+    if let Some(pristine) = pristine_first {
+        app.reset();
+        let after_run = app.next_frame();
+        assert_eq!(
+            pristine,
+            &after_run,
+            "{}: a full run perturbed the reset() frame sequence — the \
+             application carries cross-run state, which would bleed \
+             between the seeds of one batch; give each cell a fresh \
+             instance whose runs leave reset() pristine (see \
+             qgov_bench::sweep)",
+            app.name()
+        );
+        // Restore the release-path cursor position.
+        app.reset();
+        for _ in 0..total {
+            let _ = app.next_frame();
+        }
     }
 }
 
@@ -184,7 +227,7 @@ fn debug_assert_resets_deterministically(app: &mut dyn Application) {
 /// reruns.
 #[must_use]
 pub fn precharacterize(app: &mut dyn Application) -> (WorkloadTrace, (f64, f64)) {
-    debug_assert_resets_deterministically(app);
+    let _ = debug_probe_reset_determinism(app);
     let trace = WorkloadTrace::record(app);
     let mut min = f64::INFINITY;
     let mut max: f64 = 0.0;
@@ -352,6 +395,76 @@ mod tests {
     fn precharacterize_catches_non_rewinding_app() {
         let mut app = NonRewindingApp { counter: 0 };
         let _ = precharacterize(&mut app);
+    }
+
+    /// An application that *passes* the entry probe (reset rewinds the
+    /// cursor) but whose runs mutate state reset does not clear: the
+    /// last frame of every full run bumps `drift`, shifting all
+    /// subsequent frame demands. This is the cross-seed bleed shape —
+    /// one seed's completed cell changing what a later cell replaying
+    /// the same instance observes.
+    #[cfg(debug_assertions)]
+    struct DriftingApp {
+        cursor: u64,
+        drift: u64,
+    }
+
+    #[cfg(debug_assertions)]
+    impl qgov_workloads::Application for DriftingApp {
+        fn name(&self) -> &str {
+            "drifting"
+        }
+        fn period(&self) -> SimTime {
+            SimTime::from_ms(40)
+        }
+        fn frames(&self) -> u64 {
+            5
+        }
+        fn next_frame(&mut self) -> qgov_workloads::FrameDemand {
+            let demand = qgov_workloads::FrameDemand::split_evenly(
+                Cycles::from_mcycles(10 + self.drift * 100 + self.cursor),
+                2,
+                SimTime::ZERO,
+            );
+            self.cursor += 1;
+            if self.cursor == self.frames() {
+                self.drift += 1; // survives reset(): cross-run state
+            }
+            demand
+        }
+        fn reset(&mut self) {
+            self.cursor = 0;
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "bleed")]
+    fn cross_run_state_bleed_is_caught_in_debug_builds() {
+        let mut gov = PerformanceGovernor::new();
+        let mut app = DriftingApp {
+            cursor: 0,
+            drift: 0,
+        };
+        let _ = run_experiment(&mut gov, &mut app, quiet_config(), 5);
+    }
+
+    #[test]
+    fn post_run_guard_leaves_the_cursor_where_release_does() {
+        // A second run_experiment on the same (well-behaved) app must
+        // see the identical sequence: the debug-only post-run probe
+        // re-advances the cursor so debug and release paths leave the
+        // same state behind.
+        let mut app = medium_app(20);
+        let run = |app: &mut SyntheticWorkload| {
+            let mut gov = PerformanceGovernor::new();
+            run_experiment(&mut gov, app, quiet_config(), 20)
+                .report
+                .total_energy()
+                .as_joules()
+                .to_bits()
+        };
+        assert_eq!(run(&mut app), run(&mut app));
     }
 
     #[test]

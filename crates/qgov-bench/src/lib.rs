@@ -42,6 +42,23 @@
 //! // The seed-only form reads QGOV_WORKERS (default: parallel).
 //! assert_eq!(run_table1(7, 60).rows.len(), 4);
 //! ```
+//!
+//! # Multi-seed sweeps
+//!
+//! Exploration is stochastic in the seed, so every experiment also has
+//! a `*_sweep` variant ([`sweep`]) that fans the run across a
+//! [`sweep::SeedSweep`] and folds each metric into
+//! `mean ± σ (n)` aggregates with 95 % confidence intervals. The bench
+//! targets read the seed set from `QGOV_SEEDS` (default: one seed,
+//! preserving the single-run baselines in `EXPERIMENTS.md`).
+//!
+//! ```
+//! use qgov_bench::runner::RunnerConfig;
+//! use qgov_bench::sweep::{run_table3_sweep_with, SeedSweep};
+//!
+//! let result = run_table3_sweep_with(&SeedSweep::base(1, 2), 80, &RunnerConfig::serial());
+//! assert_eq!(result.rows[0].exploration_epochs.n, 2);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +66,8 @@
 pub mod experiments;
 pub mod harness;
 pub mod runner;
+pub mod sweep;
 
 pub use harness::{run_experiment, ExperimentOutcome};
 pub use runner::{ExperimentBatch, RunnerConfig, RunnerMode};
+pub use sweep::{Aggregate, SeedSweep};

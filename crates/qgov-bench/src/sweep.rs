@@ -1,0 +1,1000 @@
+//! Multi-seed sweep aggregation: every experiment of the paper, run
+//! across a seed set and folded into per-metric `mean ± σ (n)`
+//! summaries.
+//!
+//! The paper reports single-run tables, but a Q-learning governor is
+//! stochastic in its exploration draws: Table II's EPD-vs-UPD ordering
+//! (or Table I's energy ranking) is only credible if it holds across
+//! seeds. This module is the layer that produces those aggregates:
+//!
+//! * [`SeedSweep`] — the seed set, from an explicit list, a
+//!   `base × n` range, or the `QGOV_SEEDS` environment variable
+//!   (default: one seed, preserving the single-run baselines);
+//! * [`Aggregate`] — a generic fan-out of one experiment closure
+//!   across the sweep through
+//!   [`ExperimentBatch::expand_cells`], with
+//!   [`MetricSummary`] folds over any
+//!   per-result metric;
+//! * `run_*_sweep` — one sweep variant per experiment function of
+//!   [`crate::experiments`], returning per-metric mean / σ / min /
+//!   max / 95 % CI rows and a rendered
+//!   [`SweepTable`].
+//!
+//! # Determinism
+//!
+//! A sweep inherits the runner's bit-identity guarantee and adds one of
+//! its own: aggregate values are **invariant to seed-list order**
+//! (summaries sort their samples before folding, see
+//! [`MetricSummary::from_samples`]),
+//! and a sweep aggregated serially is bit-identical to the same sweep
+//! on any worker count — `tests/sweep_determinism.rs` pins both, and
+//! CI re-runs it at `QGOV_SEEDS=3 QGOV_WORKERS=3`.
+//!
+//! ```
+//! use qgov_bench::runner::RunnerConfig;
+//! use qgov_bench::sweep::{run_table2_sweep_with, SeedSweep};
+//!
+//! let sweep = SeedSweep::base(2017, 3);
+//! let result = run_table2_sweep_with(&sweep, 120, &RunnerConfig::serial());
+//! assert_eq!(result.rows.len(), 3);
+//! for row in &result.rows {
+//!     assert_eq!(row.epd_explorations.n, 3);
+//!     assert!(row.epd_explorations.min <= row.epd_explorations.mean);
+//! }
+//! ```
+
+use crate::experiments::{
+    run_fig3_with, run_shared_table_ablation_with, run_smoothing_ablation_with,
+    run_state_levels_ablation_with, run_table1_with, run_table2_with, run_table3_with,
+    AblationResult, Fig3Result, Table1Result, Table2Result, Table3Result,
+};
+use crate::runner::{ExperimentBatch, RunnerConfig};
+use qgov_metrics::{MetricSummary, SweepFormat, SweepTable};
+
+/// The seed set a multi-seed sweep runs over.
+///
+/// Constructed from an explicit list ([`SeedSweep::new`]), a
+/// consecutive range ([`SeedSweep::base`]), a single seed
+/// ([`SeedSweep::single`]) or the `QGOV_SEEDS` environment variable
+/// ([`SeedSweep::from_env`]).
+///
+/// # Examples
+///
+/// ```
+/// use qgov_bench::sweep::SeedSweep;
+///
+/// assert_eq!(SeedSweep::base(2017, 3).seeds(), &[2017, 2018, 2019]);
+/// assert_eq!(SeedSweep::single(42).n(), 1);
+/// assert_eq!(SeedSweep::parse("5", 2017).seeds(), SeedSweep::base(2017, 5).seeds());
+/// assert_eq!(SeedSweep::parse("2017,5,77", 0).seeds(), &[2017, 5, 77]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedSweep {
+    seeds: Vec<u64>,
+}
+
+impl SeedSweep {
+    /// A sweep over an explicit seed list (order does not change the
+    /// aggregates; duplicates are kept and weight the fold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    #[must_use]
+    pub fn new(seeds: Vec<u64>) -> Self {
+        assert!(!seeds.is_empty(), "a sweep needs at least one seed");
+        SeedSweep { seeds }
+    }
+
+    /// The single-seed sweep: aggregates degenerate to the one run's
+    /// values (`n = 1`, zero spread) — today's single-run baselines.
+    #[must_use]
+    pub fn single(seed: u64) -> Self {
+        SeedSweep { seeds: vec![seed] }
+    }
+
+    /// The consecutive range `base_seed .. base_seed + n_seeds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_seeds` is zero.
+    #[must_use]
+    pub fn base(base_seed: u64, n_seeds: usize) -> Self {
+        assert!(n_seeds > 0, "a sweep needs at least one seed");
+        SeedSweep {
+            seeds: (0..n_seeds as u64).map(|i| base_seed + i).collect(),
+        }
+    }
+
+    /// Reads the sweep from the `QGOV_SEEDS` environment variable (see
+    /// [`SeedSweep::parse`]); unset means [`SeedSweep::single`] with
+    /// `default_seed` — the default that preserves the single-run
+    /// baselines.
+    #[must_use]
+    pub fn from_env(default_seed: u64) -> Self {
+        match std::env::var("QGOV_SEEDS") {
+            Ok(value) => Self::parse(&value, default_seed),
+            Err(_) => SeedSweep::single(default_seed),
+        }
+    }
+
+    /// The largest bare count [`SeedSweep::parse`] accepts. A bare
+    /// `QGOV_SEEDS` number is a *seed count*, so a user writing a seed
+    /// *value* (`QGOV_SEEDS=2017`) would otherwise silently launch
+    /// thousands of full experiments; no realistic sweep needs more
+    /// than this many seeds.
+    pub const MAX_PARSED_COUNT: u64 = 1_000;
+
+    /// Parses a `QGOV_SEEDS`-style value:
+    ///
+    /// * a bare count `n` (e.g. `"5"`, at most
+    ///   [`SeedSweep::MAX_PARSED_COUNT`]) sweeps the `n` consecutive
+    ///   seeds `default_seed .. default_seed + n`;
+    /// * a comma-separated list (e.g. `"2017,5,77"`) sweeps exactly
+    ///   those seeds — a trailing comma (`"42,"`) makes a
+    ///   single-element list, i.e. *the* seed 42 rather than 42 seeds;
+    /// * anything unparsable (including `"0"` and counts above the
+    ///   cap) falls back to the single `default_seed` with a warning
+    ///   on stderr, so a typo — or a seed value where a count belongs —
+    ///   cannot silently masquerade as a sweep.
+    #[must_use]
+    pub fn parse(value: &str, default_seed: u64) -> Self {
+        let value = value.trim();
+        if value.is_empty() {
+            return SeedSweep::single(default_seed);
+        }
+        if value.contains(',') {
+            let seeds: Result<Vec<u64>, _> = value
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::parse::<u64>)
+                .collect();
+            match seeds {
+                Ok(seeds) if !seeds.is_empty() => return SeedSweep::new(seeds),
+                _ => {}
+            }
+        } else if let Ok(n) = value.parse::<u64>() {
+            if (1..=Self::MAX_PARSED_COUNT).contains(&n) {
+                return SeedSweep::base(default_seed, n as usize);
+            }
+            if n > Self::MAX_PARSED_COUNT {
+                eprintln!(
+                    "warning: QGOV_SEEDS={value} exceeds the seed-count cap \
+                     ({max}); a bare number is a COUNT of consecutive seeds \
+                     — to sweep the single seed {value} write \
+                     QGOV_SEEDS={value}, (trailing comma); using the single \
+                     default seed {default_seed}",
+                    max = Self::MAX_PARSED_COUNT
+                );
+                return SeedSweep::single(default_seed);
+            }
+        }
+        eprintln!(
+            "warning: unrecognised QGOV_SEEDS value {value:?} \
+             (expected a seed count or a comma-separated seed list); \
+             using the single default seed {default_seed}"
+        );
+        SeedSweep::single(default_seed)
+    }
+
+    /// The seeds, in sweep order.
+    #[must_use]
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Number of seeds.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Human-readable description for experiment banners, e.g.
+    /// `"seed 2017"`, `"5 seeds (2017..=2021)"` or
+    /// `"seeds [2017, 5, 77]"`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let consecutive = self.seeds.windows(2).all(|w| w[1] == w[0].wrapping_add(1));
+        match (self.seeds.as_slice(), consecutive) {
+            ([one], _) => format!("seed {one}"),
+            (seeds, true) => format!(
+                "{} seeds ({}..={})",
+                seeds.len(),
+                seeds[0],
+                seeds[seeds.len() - 1]
+            ),
+            (seeds, false) => format!("seeds {seeds:?}"),
+        }
+    }
+}
+
+/// One experiment fanned out across a [`SeedSweep`]: the per-seed
+/// results in sweep order, plus [`MetricSummary`] folds over any
+/// metric of the result type.
+///
+/// The fan-out goes through [`ExperimentBatch::expand_cells`], so it
+/// honours the [`RunnerConfig`] (parallel across seeds) and inherits
+/// the runner's bit-identity guarantee. Summaries are additionally
+/// invariant to the seed-list order.
+///
+/// # Examples
+///
+/// ```
+/// use qgov_bench::runner::RunnerConfig;
+/// use qgov_bench::sweep::{Aggregate, SeedSweep};
+///
+/// let sweep = SeedSweep::new(vec![3, 1, 2]);
+/// let agg = Aggregate::collect("demo", &sweep, 10, &RunnerConfig::serial(), |seed, frames| {
+///     (seed * frames) as f64
+/// });
+/// assert_eq!(agg.results(), &[30.0, 10.0, 20.0]);
+/// let summary = agg.summarize(|&x| x);
+/// assert_eq!((summary.mean, summary.n), (20.0, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate<T> {
+    seeds: Vec<u64>,
+    results: Vec<T>,
+}
+
+impl<T: Send> Aggregate<T> {
+    /// Runs `run_one(seed, frames)` once per sweep seed as independent
+    /// batch cells under `runner` and collects the results in sweep
+    /// order. `label` names the cells in batch diagnostics.
+    #[must_use]
+    pub fn collect<F>(
+        label: &str,
+        sweep: &SeedSweep,
+        frames: u64,
+        runner: &RunnerConfig,
+        run_one: F,
+    ) -> Self
+    where
+        F: Fn(u64, u64) -> T + Send + Sync,
+    {
+        let mut batch = ExperimentBatch::new();
+        batch.expand_cells(
+            &[label],
+            sweep.seeds(),
+            &[frames],
+            move |_, seed, frames| run_one(seed, frames),
+        );
+        let results = batch.run(runner);
+        Aggregate {
+            seeds: sweep.seeds().to_vec(),
+            results,
+        }
+    }
+}
+
+impl<T> Aggregate<T> {
+    /// The sweep's seeds, in sweep order.
+    #[must_use]
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// The per-seed results, in sweep order.
+    #[must_use]
+    pub fn results(&self) -> &[T] {
+        &self.results
+    }
+
+    /// Number of seeds (= number of results).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Iterates `(seed, result)` pairs in sweep order.
+    pub fn per_seed(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.seeds.iter().copied().zip(self.results.iter())
+    }
+
+    /// Folds `metric` over every per-seed result into a summary.
+    #[must_use]
+    pub fn summarize<F: Fn(&T) -> f64>(&self, metric: F) -> MetricSummary {
+        let samples: Vec<f64> = self.results.iter().map(metric).collect();
+        MetricSummary::from_samples(&samples)
+    }
+
+    /// Folds an optional metric over the results that report it
+    /// (`None`s are dropped; the summary's `n` records how many seeds
+    /// contributed — e.g. convergence epochs over the seeds that
+    /// converged).
+    #[must_use]
+    pub fn summarize_opt<F: Fn(&T) -> Option<f64>>(&self, metric: F) -> MetricSummary {
+        let samples: Vec<f64> = self.results.iter().filter_map(metric).collect();
+        MetricSummary::from_samples(&samples)
+    }
+
+    /// Consumes the aggregate into `(seeds, results)`.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<u64>, Vec<T>) {
+        (self.seeds, self.results)
+    }
+}
+
+/// The execution policy for the per-seed cells *inside* a sweep: with
+/// one seed the outer fan-out is a single cell, so the inner experiment
+/// keeps the caller's policy (today's single-run behaviour); with many
+/// seeds the sweep parallelises across seeds and each cell runs its
+/// own experiment serially, avoiding nested thread pools. Either way
+/// results are bit-identical (the runner guarantee). The trade-off:
+/// a multi-seed sweep's parallelism is capped at the seed count — on
+/// hosts with more cores than seeds, flattening the seed × methodology
+/// axes into one queue would use them (ROADMAP follow-on).
+fn cell_runner(sweep: &SeedSweep, runner: &RunnerConfig) -> RunnerConfig {
+    if sweep.n() == 1 {
+        runner.clone()
+    } else {
+        RunnerConfig::serial()
+    }
+}
+
+/// One methodology's cross-seed aggregates in the Table I sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1SweepRow {
+    /// Methodology name.
+    pub method: String,
+    /// Energy normalised to the same-seed Oracle run.
+    pub normalized_energy: MetricSummary,
+    /// Mean `Tᵢ/T_ref`.
+    pub normalized_performance: MetricSummary,
+    /// Deadline miss rate.
+    pub miss_rate: MetricSummary,
+    /// Mean OPP index.
+    pub mean_opp: MetricSummary,
+    /// Absolute energy in joules.
+    pub energy_joules: MetricSummary,
+}
+
+/// The Table I sweep bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Sweep {
+    /// The seeds aggregated, in sweep order.
+    pub seeds: Vec<u64>,
+    /// One aggregate row per methodology.
+    pub rows: Vec<Table1SweepRow>,
+    /// Rendered `mean ± σ (n)` table.
+    pub table: SweepTable,
+    /// The underlying single-seed results, in sweep order.
+    pub per_seed: Vec<Table1Result>,
+}
+
+/// **Table I** across a seed sweep, with the execution policy read
+/// from `QGOV_WORKERS`.
+#[must_use]
+pub fn run_table1_sweep(sweep: &SeedSweep, frames: u64) -> Table1Sweep {
+    run_table1_sweep_with(sweep, frames, &RunnerConfig::from_env())
+}
+
+/// **Table I** across a seed sweep under an explicit [`RunnerConfig`]:
+/// one cell per seed (each replaying its own seed's trace through all
+/// four methodologies), folded into per-methodology aggregates.
+#[must_use]
+pub fn run_table1_sweep_with(sweep: &SeedSweep, frames: u64, runner: &RunnerConfig) -> Table1Sweep {
+    let inner = cell_runner(sweep, runner);
+    let agg = Aggregate::collect("table1", sweep, frames, runner, move |seed, frames| {
+        run_table1_with(seed, frames, &inner)
+    });
+
+    let methods: Vec<String> = agg.results()[0]
+        .rows
+        .iter()
+        .map(|r| r.method.clone())
+        .collect();
+    let rows: Vec<Table1SweepRow> = methods
+        .iter()
+        .enumerate()
+        .map(|(i, method)| {
+            debug_assert!(
+                agg.results().iter().all(|r| r.rows[i].method == *method),
+                "methodology order must not depend on the seed"
+            );
+            Table1SweepRow {
+                method: method.clone(),
+                normalized_energy: agg.summarize(|r| r.rows[i].normalized_energy),
+                normalized_performance: agg.summarize(|r| r.rows[i].normalized_performance),
+                miss_rate: agg.summarize(|r| r.rows[i].miss_rate),
+                mean_opp: agg.summarize(|r| r.rows[i].mean_opp),
+                energy_joules: agg.summarize(|r| r.rows[i].energy_joules),
+            }
+        })
+        .collect();
+
+    let mut table = SweepTable::new(
+        "Methodology",
+        vec![
+            ("Normalized energy", SweepFormat::Fixed(2)),
+            ("Normalized performance", SweepFormat::Fixed(2)),
+            ("Miss rate", SweepFormat::Percent(1)),
+            ("Mean OPP", SweepFormat::Fixed(1)),
+        ],
+    );
+    for row in &rows {
+        table.add_row(
+            row.method.clone(),
+            vec![
+                row.normalized_energy,
+                row.normalized_performance,
+                row.miss_rate,
+                row.mean_opp,
+            ],
+        );
+    }
+    let (seeds, per_seed) = agg.into_parts();
+    Table1Sweep {
+        seeds,
+        rows,
+        table,
+        per_seed,
+    }
+}
+
+/// One application's cross-seed aggregates in the Table II sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2SweepRow {
+    /// Application label.
+    pub app: String,
+    /// Explorations to convergence under uniform exploration \[21\].
+    pub upd_explorations: MetricSummary,
+    /// Explorations to convergence under the EPD (ours).
+    pub epd_explorations: MetricSummary,
+    /// Per-seed `EPD / UPD` ratio (the paper's headline reduction,
+    /// aggregated pairwise rather than as a ratio of means).
+    pub epd_upd_ratio: MetricSummary,
+}
+
+/// The Table II sweep bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Sweep {
+    /// The seeds aggregated, in sweep order.
+    pub seeds: Vec<u64>,
+    /// One aggregate row per application.
+    pub rows: Vec<Table2SweepRow>,
+    /// Rendered `mean ± σ (n)` table.
+    pub table: SweepTable,
+    /// The underlying single-seed results, in sweep order.
+    pub per_seed: Vec<Table2Result>,
+}
+
+/// **Table II** across a seed sweep, with the execution policy read
+/// from `QGOV_WORKERS`.
+#[must_use]
+pub fn run_table2_sweep(sweep: &SeedSweep, frames: u64) -> Table2Sweep {
+    run_table2_sweep_with(sweep, frames, &RunnerConfig::from_env())
+}
+
+/// **Table II** across a seed sweep under an explicit
+/// [`RunnerConfig`]: per-application UPD/EPD exploration counts and
+/// their pairwise ratio, aggregated over the seeds.
+#[must_use]
+pub fn run_table2_sweep_with(sweep: &SeedSweep, frames: u64, runner: &RunnerConfig) -> Table2Sweep {
+    let inner = cell_runner(sweep, runner);
+    let agg = Aggregate::collect("table2", sweep, frames, runner, move |seed, frames| {
+        run_table2_with(seed, frames, &inner)
+    });
+
+    let apps: Vec<String> = agg.results()[0]
+        .rows
+        .iter()
+        .map(|r| r.app.clone())
+        .collect();
+    let rows: Vec<Table2SweepRow> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, app)| {
+            debug_assert!(
+                agg.results().iter().all(|r| r.rows[i].app == *app),
+                "application order must not depend on the seed"
+            );
+            Table2SweepRow {
+                app: app.clone(),
+                upd_explorations: agg.summarize(|r| r.rows[i].upd_explorations as f64),
+                epd_explorations: agg.summarize(|r| r.rows[i].epd_explorations as f64),
+                epd_upd_ratio: agg.summarize(|r| {
+                    r.rows[i].epd_explorations as f64 / r.rows[i].upd_explorations as f64
+                }),
+            }
+        })
+        .collect();
+
+    let mut table = SweepTable::new(
+        "Application",
+        vec![
+            ("Explorations [21] (UPD)", SweepFormat::Fixed(1)),
+            ("Our approach (EPD)", SweepFormat::Fixed(1)),
+            ("EPD/UPD", SweepFormat::Fixed(2)),
+        ],
+    );
+    for row in &rows {
+        table.add_row(
+            row.app.clone(),
+            vec![
+                row.upd_explorations,
+                row.epd_explorations,
+                row.epd_upd_ratio,
+            ],
+        );
+    }
+    let (seeds, per_seed) = agg.into_parts();
+    Table2Sweep {
+        seeds,
+        rows,
+        table,
+        per_seed,
+    }
+}
+
+/// One methodology's cross-seed aggregates in the Table III sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3SweepRow {
+    /// Methodology name.
+    pub method: String,
+    /// Exploration-phase decision epochs (the learning overhead).
+    pub exploration_epochs: MetricSummary,
+    /// Convergence epoch over the seeds that converged (the summary's
+    /// `n` records how many did).
+    pub convergence_epochs: MetricSummary,
+}
+
+/// The Table III sweep bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Sweep {
+    /// The seeds aggregated, in sweep order.
+    pub seeds: Vec<u64>,
+    /// One aggregate row per methodology.
+    pub rows: Vec<Table3SweepRow>,
+    /// Rendered `mean ± σ (n)` table.
+    pub table: SweepTable,
+    /// The underlying single-seed results, in sweep order.
+    pub per_seed: Vec<Table3Result>,
+}
+
+/// **Table III** across a seed sweep, with the execution policy read
+/// from `QGOV_WORKERS`.
+#[must_use]
+pub fn run_table3_sweep(sweep: &SeedSweep, frames: u64) -> Table3Sweep {
+    run_table3_sweep_with(sweep, frames, &RunnerConfig::from_env())
+}
+
+/// **Table III** across a seed sweep under an explicit
+/// [`RunnerConfig`].
+#[must_use]
+pub fn run_table3_sweep_with(sweep: &SeedSweep, frames: u64, runner: &RunnerConfig) -> Table3Sweep {
+    let inner = cell_runner(sweep, runner);
+    let agg = Aggregate::collect("table3", sweep, frames, runner, move |seed, frames| {
+        run_table3_with(seed, frames, &inner)
+    });
+
+    let methods: Vec<String> = agg.results()[0]
+        .rows
+        .iter()
+        .map(|r| r.method.clone())
+        .collect();
+    let rows: Vec<Table3SweepRow> = methods
+        .iter()
+        .enumerate()
+        .map(|(i, method)| Table3SweepRow {
+            method: method.clone(),
+            exploration_epochs: agg.summarize(|r| r.rows[i].exploration_epochs as f64),
+            convergence_epochs: agg
+                .summarize_opt(|r| r.rows[i].convergence_epochs.map(|e| e as f64)),
+        })
+        .collect();
+
+    let mut table = SweepTable::new(
+        "Methodology",
+        vec![
+            ("Time overhead (decision epochs)", SweepFormat::Fixed(1)),
+            ("Greedy policy stable at", SweepFormat::Fixed(1)),
+        ],
+    );
+    for row in &rows {
+        table.add_row(
+            row.method.clone(),
+            vec![row.exploration_epochs, row.convergence_epochs],
+        );
+    }
+    let (seeds, per_seed) = agg.into_parts();
+    Table3Sweep {
+        seeds,
+        rows,
+        table,
+        per_seed,
+    }
+}
+
+/// The Fig. 3 sweep bundle: the headline misprediction statistics
+/// aggregated across seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Sweep {
+    /// The seeds aggregated, in sweep order.
+    pub seeds: Vec<u64>,
+    /// Mean relative misprediction over the first 100 frames.
+    pub early_misprediction: MetricSummary,
+    /// Mean relative misprediction after frame 100.
+    pub late_misprediction: MetricSummary,
+    /// Count of frames whose error exceeds 15 %.
+    pub mispredicted_frames: MetricSummary,
+    /// Rendered `mean ± σ (n)` table (one row).
+    pub table: SweepTable,
+    /// The underlying single-seed results (series and CSVs), in sweep
+    /// order.
+    pub per_seed: Vec<Fig3Result>,
+}
+
+/// **Fig. 3** across a seed sweep, with the execution policy read from
+/// `QGOV_WORKERS`.
+#[must_use]
+pub fn run_fig3_sweep(sweep: &SeedSweep, frames: u64) -> Fig3Sweep {
+    run_fig3_sweep_with(sweep, frames, &RunnerConfig::from_env())
+}
+
+/// **Fig. 3** across a seed sweep under an explicit [`RunnerConfig`].
+/// The per-seed series (for plotting) stay available in
+/// [`Fig3Sweep::per_seed`]; the aggregate covers the headline
+/// statistics.
+#[must_use]
+pub fn run_fig3_sweep_with(sweep: &SeedSweep, frames: u64, runner: &RunnerConfig) -> Fig3Sweep {
+    let inner = cell_runner(sweep, runner);
+    let agg = Aggregate::collect("fig3", sweep, frames, runner, move |seed, frames| {
+        run_fig3_with(seed, frames, &inner)
+    });
+
+    let early = agg.summarize(|r| r.early_misprediction);
+    let late = agg.summarize(|r| r.late_misprediction);
+    let count = agg.summarize(|r| r.mispredicted_frames.len() as f64);
+
+    let mut table = SweepTable::new(
+        "Workload",
+        vec![
+            ("Early misprediction (1–100)", SweepFormat::Percent(1)),
+            ("Late misprediction", SweepFormat::Percent(1)),
+            (">15% frames", SweepFormat::Fixed(1)),
+        ],
+    );
+    table.add_row("MPEG4 SVGA 24 fps", vec![early, late, count]);
+    let (seeds, per_seed) = agg.into_parts();
+    Fig3Sweep {
+        seeds,
+        early_misprediction: early,
+        late_misprediction: late,
+        mispredicted_frames: count,
+        table,
+        per_seed,
+    }
+}
+
+/// One configuration's cross-seed aggregates in an ablation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationSweepRow {
+    /// Configuration label (seed-independent; per-seed annotations the
+    /// single-run labels carry, such as the smoothing ablation's
+    /// misprediction, are stripped).
+    pub label: String,
+    /// Energy normalised to the same-seed Oracle run.
+    pub normalized_energy: MetricSummary,
+    /// Mean `Tᵢ/T_ref`.
+    pub normalized_performance: MetricSummary,
+    /// Deadline miss rate.
+    pub miss_rate: MetricSummary,
+    /// Convergence epoch over the seeds that converged (the summary's
+    /// `n` records how many did).
+    pub convergence_epochs: MetricSummary,
+    /// Explorations until convergence (or total if never converged).
+    pub explorations: MetricSummary,
+}
+
+/// An ablation sweep bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationSweep {
+    /// The seeds aggregated, in sweep order.
+    pub seeds: Vec<u64>,
+    /// One aggregate row per configuration.
+    pub rows: Vec<AblationSweepRow>,
+    /// Rendered `mean ± σ (n)` table.
+    pub table: SweepTable,
+    /// The underlying single-seed results, in sweep order.
+    pub per_seed: Vec<AblationResult>,
+}
+
+/// Shared fold for the three ablation sweeps: `normalize_label` maps a
+/// single-run row label to its seed-independent form.
+fn ablation_sweep_with<F>(
+    name: &str,
+    label_header: &str,
+    sweep: &SeedSweep,
+    frames: u64,
+    runner: &RunnerConfig,
+    normalize_label: fn(&str) -> String,
+    run_one: F,
+) -> AblationSweep
+where
+    F: Fn(u64, u64, &RunnerConfig) -> AblationResult + Send + Sync,
+{
+    let inner = cell_runner(sweep, runner);
+    let agg = Aggregate::collect(name, sweep, frames, runner, move |seed, frames| {
+        run_one(seed, frames, &inner)
+    });
+
+    // Per-seed label annotations (the smoothing ablation's
+    // misprediction percentage) are only ambiguous across seeds; a
+    // single-seed sweep keeps them, preserving the single-run output.
+    let normalize_label = if agg.n() > 1 {
+        normalize_label
+    } else {
+        identity_label
+    };
+    let labels: Vec<String> = agg.results()[0]
+        .rows
+        .iter()
+        .map(|r| normalize_label(&r.label))
+        .collect();
+    let rows: Vec<AblationSweepRow> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, label)| {
+            debug_assert!(
+                agg.results()
+                    .iter()
+                    .all(|r| normalize_label(&r.rows[i].label) == *label),
+                "configuration order must not depend on the seed"
+            );
+            AblationSweepRow {
+                label: label.clone(),
+                normalized_energy: agg.summarize(|r| r.rows[i].normalized_energy),
+                normalized_performance: agg.summarize(|r| r.rows[i].normalized_performance),
+                miss_rate: agg.summarize(|r| r.rows[i].miss_rate),
+                convergence_epochs: agg
+                    .summarize_opt(|r| r.rows[i].convergence_epochs.map(|e| e as f64)),
+                explorations: agg.summarize(|r| r.rows[i].explorations as f64),
+            }
+        })
+        .collect();
+
+    let mut table = SweepTable::new(
+        label_header,
+        vec![
+            ("Normalized energy", SweepFormat::Fixed(2)),
+            ("Normalized performance", SweepFormat::Fixed(2)),
+            ("Miss rate", SweepFormat::Percent(1)),
+            ("Convergence (epochs)", SweepFormat::Fixed(1)),
+            ("Explorations", SweepFormat::Fixed(1)),
+        ],
+    );
+    for row in &rows {
+        table.add_row(
+            row.label.clone(),
+            vec![
+                row.normalized_energy,
+                row.normalized_performance,
+                row.miss_rate,
+                row.convergence_epochs,
+                row.explorations,
+            ],
+        );
+    }
+    let (seeds, per_seed) = agg.into_parts();
+    AblationSweep {
+        seeds,
+        rows,
+        table,
+        per_seed,
+    }
+}
+
+fn identity_label(label: &str) -> String {
+    label.to_owned()
+}
+
+/// Strips the per-seed misprediction annotation the smoothing
+/// ablation's single-run labels embed (`"gamma = 0.60 (misprediction
+/// 4.6%)"` → `"gamma = 0.60"`).
+fn strip_misprediction(label: &str) -> String {
+    label
+        .split(" (misprediction")
+        .next()
+        .unwrap_or(label)
+        .to_owned()
+}
+
+/// **Ablation** — state discretisation levels N across a seed sweep,
+/// with the execution policy read from `QGOV_WORKERS`.
+#[must_use]
+pub fn run_state_levels_ablation_sweep(sweep: &SeedSweep, frames: u64) -> AblationSweep {
+    run_state_levels_ablation_sweep_with(sweep, frames, &RunnerConfig::from_env())
+}
+
+/// **Ablation** — state discretisation levels N across a seed sweep
+/// under an explicit [`RunnerConfig`].
+#[must_use]
+pub fn run_state_levels_ablation_sweep_with(
+    sweep: &SeedSweep,
+    frames: u64,
+    runner: &RunnerConfig,
+) -> AblationSweep {
+    ablation_sweep_with(
+        "ablation-levels",
+        "State levels",
+        sweep,
+        frames,
+        runner,
+        identity_label,
+        run_state_levels_ablation_with,
+    )
+}
+
+/// **Ablation** — EWMA smoothing γ across a seed sweep, with the
+/// execution policy read from `QGOV_WORKERS`.
+#[must_use]
+pub fn run_smoothing_ablation_sweep(sweep: &SeedSweep, frames: u64) -> AblationSweep {
+    run_smoothing_ablation_sweep_with(sweep, frames, &RunnerConfig::from_env())
+}
+
+/// **Ablation** — EWMA smoothing γ across a seed sweep under an
+/// explicit [`RunnerConfig`]. Row labels are normalised to the bare
+/// `gamma = …` form (the single-run labels embed each seed's own
+/// misprediction percentage).
+#[must_use]
+pub fn run_smoothing_ablation_sweep_with(
+    sweep: &SeedSweep,
+    frames: u64,
+    runner: &RunnerConfig,
+) -> AblationSweep {
+    ablation_sweep_with(
+        "ablation-gamma",
+        "EWMA smoothing",
+        sweep,
+        frames,
+        runner,
+        strip_misprediction,
+        run_smoothing_ablation_with,
+    )
+}
+
+/// **Ablation** — shared vs per-core Q-tables across a seed sweep,
+/// with the execution policy read from `QGOV_WORKERS`.
+#[must_use]
+pub fn run_shared_table_ablation_sweep(sweep: &SeedSweep, frames: u64) -> AblationSweep {
+    run_shared_table_ablation_sweep_with(sweep, frames, &RunnerConfig::from_env())
+}
+
+/// **Ablation** — shared vs per-core Q-tables across a seed sweep
+/// under an explicit [`RunnerConfig`].
+#[must_use]
+pub fn run_shared_table_ablation_sweep_with(
+    sweep: &SeedSweep,
+    frames: u64,
+    runner: &RunnerConfig,
+) -> AblationSweep {
+    ablation_sweep_with(
+        "ablation-shared",
+        "Formulation",
+        sweep,
+        frames,
+        runner,
+        identity_label,
+        run_shared_table_ablation_with,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_counts_lists_and_rejects_garbage() {
+        assert_eq!(SeedSweep::parse("1", 2017), SeedSweep::single(2017));
+        assert_eq!(SeedSweep::parse("3", 2017), SeedSweep::base(2017, 3));
+        assert_eq!(
+            SeedSweep::parse(" 2017, 5 , 77 ", 0).seeds(),
+            &[2017, 5, 77]
+        );
+        assert_eq!(SeedSweep::parse("42,", 2017).seeds(), &[42]);
+        assert_eq!(SeedSweep::parse("0", 2017), SeedSweep::single(2017));
+        // A seed value where a count belongs must not explode into
+        // thousands of runs.
+        assert_eq!(SeedSweep::parse("2017", 42), SeedSweep::single(42));
+        assert_eq!(
+            SeedSweep::parse("1000", 1).n(),
+            SeedSweep::MAX_PARSED_COUNT as usize
+        );
+        assert_eq!(SeedSweep::parse("1001", 1), SeedSweep::single(1));
+        assert_eq!(SeedSweep::parse("", 2017), SeedSweep::single(2017));
+        assert_eq!(SeedSweep::parse("garbage", 2017), SeedSweep::single(2017));
+        assert_eq!(SeedSweep::parse("1,2,x", 2017), SeedSweep::single(2017));
+    }
+
+    #[test]
+    fn describe_names_the_shape() {
+        assert_eq!(SeedSweep::single(42).describe(), "seed 42");
+        assert_eq!(SeedSweep::base(2017, 5).describe(), "5 seeds (2017..=2021)");
+        assert_eq!(
+            SeedSweep::new(vec![2017, 5, 77]).describe(),
+            "seeds [2017, 5, 77]"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_panics() {
+        let _ = SeedSweep::new(Vec::new());
+    }
+
+    #[test]
+    fn aggregate_collects_in_sweep_order_and_summarizes() {
+        let sweep = SeedSweep::new(vec![10, 30, 20]);
+        let agg = Aggregate::collect("t", &sweep, 2, &RunnerConfig::with_workers(2), |s, f| {
+            (s * f) as f64
+        });
+        assert_eq!(agg.results(), &[20.0, 60.0, 40.0]);
+        assert_eq!(agg.per_seed().count(), 3);
+        let summary = agg.summarize(|&x| x);
+        assert_eq!(summary.mean, 40.0);
+        assert_eq!((summary.min, summary.max), (20.0, 60.0));
+        let odd = agg.summarize_opt(|&x| (x > 30.0).then_some(x));
+        assert_eq!(odd.n, 2);
+    }
+
+    #[test]
+    fn single_seed_sweep_matches_the_single_run() {
+        let sweep = SeedSweep::single(1);
+        let swept = run_table3_sweep_with(&sweep, 120, &RunnerConfig::serial());
+        let single = crate::experiments::run_table3_with(1, 120, &RunnerConfig::serial());
+        assert_eq!(swept.per_seed[0], single);
+        for (srow, row) in swept.rows.iter().zip(&single.rows) {
+            assert_eq!(srow.method, row.method);
+            assert_eq!(srow.exploration_epochs.n, 1);
+            assert_eq!(
+                srow.exploration_epochs.mean.to_bits(),
+                (row.exploration_epochs as f64).to_bits()
+            );
+            assert_eq!(srow.exploration_epochs.std_dev, 0.0);
+        }
+    }
+
+    #[test]
+    fn single_seed_smoothing_sweep_keeps_the_misprediction_annotation() {
+        // The per-seed annotation is unambiguous at n = 1, and the
+        // single-run bench output relies on it.
+        let result =
+            run_smoothing_ablation_sweep_with(&SeedSweep::single(1), 100, &RunnerConfig::serial());
+        assert!(
+            result
+                .rows
+                .iter()
+                .all(|r| r.label.contains("misprediction")),
+            "{:?}",
+            result.rows.iter().map(|r| &r.label).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn smoothing_sweep_labels_are_seed_independent() {
+        let sweep = SeedSweep::new(vec![1, 9]);
+        let result = run_smoothing_ablation_sweep_with(&sweep, 100, &RunnerConfig::serial());
+        for row in &result.rows {
+            assert!(
+                row.label.starts_with("gamma = ") && !row.label.contains("misprediction"),
+                "{}",
+                row.label
+            );
+            assert_eq!(row.normalized_energy.n, 2);
+        }
+    }
+
+    #[test]
+    fn strip_misprediction_only_touches_the_annotation() {
+        assert_eq!(
+            strip_misprediction("gamma = 0.60 (misprediction 4.6%)"),
+            "gamma = 0.60"
+        );
+        assert_eq!(
+            strip_misprediction("N = 5 (25 states)"),
+            "N = 5 (25 states)"
+        );
+    }
+}

@@ -10,7 +10,12 @@
 //!   paper's normalisation conventions;
 //! * [`MispredictionStats`] — predicted-vs-actual workload error
 //!   analysis (whole-run and windowed, as Fig. 3 quotes);
-//! * [`OnlineStats`] — numerically-stable streaming moments;
+//! * [`OnlineStats`] — numerically-stable streaming moments, with the
+//!   sample-variance / 95 %-CI surface cross-seed sweeps aggregate
+//!   with;
+//! * [`SampleStats`] / [`MetricSummary`] / [`SweepTable`] — the
+//!   order-invariant cross-seed aggregation layer (`mean ± σ (n)`
+//!   cells, quantiles, CI half-widths);
 //! * [`ComparisonTable`] — aligned ASCII tables matching the paper's
 //!   layout, with CSV export;
 //! * [`Series`] — named (x, y) series with CSV export for figures.
@@ -22,10 +27,12 @@ mod misprediction;
 mod report;
 mod series;
 mod stats;
+mod sweep;
 mod table;
 
 pub use misprediction::MispredictionStats;
 pub use report::{FrameStat, RunReport};
 pub use series::Series;
-pub use stats::OnlineStats;
+pub use stats::{t_critical_975, OnlineStats};
+pub use sweep::{MetricSummary, SampleStats, SweepFormat, SweepTable};
 pub use table::ComparisonTable;

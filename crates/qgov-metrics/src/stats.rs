@@ -1,5 +1,45 @@
 //! Streaming statistics.
 
+/// Two-sided 97.5 % Student-t critical value for `df` degrees of
+/// freedom — the multiplier of a 95 % confidence interval on a mean of
+/// `df + 1` samples.
+///
+/// Exact table values for `df` ≤ 30; above that the asymptotic
+/// approximation `1.960 + 2.42 / df` (within ~0.002 of the true value
+/// just past the table, under 0.001 from df ≈ 35, converging to the
+/// normal quantile 1.960).
+///
+/// # Panics
+///
+/// Panics if `df` is zero — a CI over one sample is undefined; callers
+/// report it as zero spread instead (see
+/// [`OnlineStats::ci95_half_width`]).
+///
+/// # Examples
+///
+/// ```
+/// use qgov_metrics::t_critical_975;
+///
+/// assert_eq!(t_critical_975(4), 2.776); // n = 5 seeds
+/// assert!((t_critical_975(1_000_000) - 1.960).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn t_critical_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    assert!(
+        df > 0,
+        "t critical value needs at least 1 degree of freedom"
+    );
+    match df {
+        1..=30 => TABLE[(df - 1) as usize],
+        _ => 1.960 + 2.42 / df as f64,
+    }
+}
+
 /// Numerically-stable streaming mean/variance/extrema (Welford's
 /// algorithm).
 ///
@@ -82,6 +122,50 @@ impl OnlineStats {
     #[must_use]
     pub fn population_std_dev(&self) -> f64 {
         self.population_variance().sqrt()
+    }
+
+    /// Sample (Bessel-corrected, `n − 1` denominator) variance — the
+    /// unbiased estimator a cross-seed sweep reports. Zero when fewer
+    /// than two samples have been pushed: with one seed there is no
+    /// spread to estimate, and aggregation layers render that case as
+    /// a bare mean (see `MetricSummary`).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation (√[`OnlineStats::sample_variance`];
+    /// zero below two samples).
+    #[must_use]
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Half-width of the 95 % confidence interval on the mean,
+    /// `t₀.₉₇₅,ₙ₋₁ · s / √n` with the Student-t critical value from
+    /// [`t_critical_975`]. Zero below two samples (no spread
+    /// estimate exists).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qgov_metrics::OnlineStats;
+    ///
+    /// let s: OnlineStats = [2.0, 4.0, 6.0, 8.0, 10.0].into_iter().collect();
+    /// let expected = 2.776 * s.sample_std_dev() / 5f64.sqrt();
+    /// assert!((s.ci95_half_width() - expected).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            t_critical_975(self.count - 1) * self.sample_std_dev() / (self.count as f64).sqrt()
+        }
     }
 
     /// Coefficient of variation, `std/mean` (zero for a zero mean).
@@ -167,5 +251,53 @@ mod tests {
     fn non_finite_sample_panics() {
         let mut s = OnlineStats::new();
         s.push(f64::NAN);
+    }
+
+    #[test]
+    fn sample_variance_uses_bessel_correction() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        // Population variance 4.0 over 8 samples -> sample variance
+        // 4.0 * 8 / 7.
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!(s.sample_std_dev() > s.population_std_dev());
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s: OnlineStats = [3.5].into_iter().collect();
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.sample_std_dev(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert!(OnlineStats::new().ci95_half_width() == 0.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_ci() {
+        let s: OnlineStats = std::iter::repeat_n(7.25, 12).collect();
+        assert_eq!(s.mean(), 7.25);
+        assert_eq!(s.sample_std_dev(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn t_table_is_monotone_decreasing_toward_the_normal_quantile() {
+        let mut prev = t_critical_975(1);
+        for df in 2..200 {
+            let t = t_critical_975(df);
+            assert!(t < prev, "df {df}: {t} !< {prev}");
+            assert!(t > 1.959, "df {df}: {t}");
+            prev = t;
+        }
+        assert_eq!(t_critical_975(30), 2.042);
+        assert!((t_critical_975(40) - 2.021).abs() < 0.001);
+        assert!((t_critical_975(120) - 1.980).abs() < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree of freedom")]
+    fn t_critical_rejects_zero_df() {
+        let _ = t_critical_975(0);
     }
 }

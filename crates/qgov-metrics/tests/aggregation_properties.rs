@@ -1,0 +1,145 @@
+//! Property tests for the cross-seed aggregation math: the streaming
+//! and keep-all-samples accumulators must agree with brute-force
+//! two-pass references on arbitrary inputs, including the n = 1
+//! (σ undefined, reported as zero / bare-mean cell) and
+//! constant-series edge cases.
+
+use proptest::prelude::*;
+use qgov_metrics::{t_critical_975, MetricSummary, OnlineStats, SampleStats};
+
+/// Brute-force reference: (mean, sample variance, min, max).
+fn reference(xs: &[f64]) -> (f64, f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = if xs.len() < 2 {
+        0.0
+    } else {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    };
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (mean, var, min, max)
+}
+
+/// Absolute-or-relative tolerance for comparing the streaming fold
+/// against the naive two-pass sum.
+fn close(a: f64, b: f64, scale: f64) -> bool {
+    (a - b).abs() <= 1e-9 * scale.abs().max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn online_stats_match_brute_force(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..64)
+    ) {
+        let (mean, var, min, max) = reference(&xs);
+        let s: OnlineStats = xs.iter().copied().collect();
+        prop_assert!(close(s.mean(), mean, mean), "mean {} vs {}", s.mean(), mean);
+        prop_assert!(
+            close(s.sample_variance(), var, var.max(1e6)),
+            "variance {} vs {}", s.sample_variance(), var
+        );
+        prop_assert_eq!(s.min().unwrap().to_bits(), min.to_bits());
+        prop_assert_eq!(s.max().unwrap().to_bits(), max.to_bits());
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn ci95_matches_the_textbook_formula(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..40)
+    ) {
+        let (_, var, _, _) = reference(&xs);
+        let s: OnlineStats = xs.iter().copied().collect();
+        let expected = t_critical_975(xs.len() as u64 - 1)
+            * var.sqrt()
+            / (xs.len() as f64).sqrt();
+        prop_assert!(
+            close(s.ci95_half_width(), expected, expected.max(1e3)),
+            "ci95 {} vs {}", s.ci95_half_width(), expected
+        );
+        // The CI half-width never exceeds the full sample range times
+        // the worst-case t multiplier.
+        prop_assert!(s.ci95_half_width() <= 12.706 * (s.max().unwrap() - s.min().unwrap()) + 1e-9);
+    }
+
+    #[test]
+    fn metric_summary_agrees_with_online_stats(
+        xs in proptest::collection::vec(-1e5f64..1e5, 1..48)
+    ) {
+        let summary = MetricSummary::from_samples(&xs);
+        let online: OnlineStats = xs.iter().copied().collect();
+        // Same fold modulo summation order (the summary sorts first).
+        prop_assert!(close(summary.mean, online.mean(), online.mean()));
+        prop_assert!(close(summary.std_dev, online.sample_std_dev(), online.sample_std_dev().max(1e5)));
+        prop_assert_eq!(summary.min.to_bits(), online.min().unwrap().to_bits());
+        prop_assert_eq!(summary.max.to_bits(), online.max().unwrap().to_bits());
+        prop_assert_eq!(summary.n, online.count());
+        // Mean is bracketed by the extrema; σ and CI are non-negative.
+        prop_assert!(summary.min <= summary.mean + 1e-9 && summary.mean <= summary.max + 1e-9);
+        prop_assert!(summary.std_dev >= 0.0 && summary.ci95 >= 0.0);
+    }
+
+    #[test]
+    fn summaries_are_invariant_to_sample_order(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..32),
+        rot in 0usize..32
+    ) {
+        let mut rotated = xs.clone();
+        rotated.rotate_left(rot % xs.len().max(1));
+        let a = MetricSummary::from_samples(&xs);
+        let b = MetricSummary::from_samples(&rotated);
+        prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        prop_assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
+        prop_assert_eq!(a.min.to_bits(), b.min.to_bits());
+        prop_assert_eq!(a.max.to_bits(), b.max.to_bits());
+        prop_assert_eq!(a.ci95.to_bits(), b.ci95.to_bits());
+    }
+
+    #[test]
+    fn n1_spread_is_zero_and_cell_is_bare(x in -1e6f64..1e6) {
+        let summary = MetricSummary::from_samples(&[x]);
+        prop_assert_eq!(summary.n, 1);
+        prop_assert_eq!(summary.std_dev, 0.0);
+        prop_assert_eq!(summary.ci95, 0.0);
+        prop_assert_eq!(summary.min.to_bits(), x.to_bits());
+        prop_assert_eq!(summary.max.to_bits(), x.to_bits());
+        let cell = summary.cell(3);
+        prop_assert!(cell.ends_with("(n=1)"), "{}", cell);
+        prop_assert!(!cell.contains('±'), "{}", cell);
+    }
+
+    #[test]
+    fn constant_series_has_zero_spread(x in -1e5f64..1e5, n in 2usize..32) {
+        let xs = vec![x; n];
+        let summary = MetricSummary::from_samples(&xs);
+        // Welford on identical values cancels exactly: σ and CI are
+        // exactly zero, not merely tiny.
+        prop_assert_eq!(summary.std_dev, 0.0);
+        prop_assert_eq!(summary.ci95, 0.0);
+        prop_assert_eq!(summary.mean.to_bits(), x.to_bits());
+        let online: OnlineStats = xs.iter().copied().collect();
+        prop_assert_eq!(online.sample_variance(), 0.0);
+        prop_assert_eq!(online.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..48),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0
+    ) {
+        let s: SampleStats = xs.iter().copied().collect();
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let v_lo = s.quantile(lo).unwrap();
+        let v_hi = s.quantile(hi).unwrap();
+        prop_assert!(v_lo <= v_hi + 1e-9, "q{} = {} > q{} = {}", lo, v_lo, hi, v_hi);
+        prop_assert!(s.quantile(0.0).unwrap() <= v_lo + 1e-9);
+        prop_assert!(v_hi <= s.quantile(1.0).unwrap() + 1e-9);
+        // The extremes are exactly min and max.
+        let summary = s.summary();
+        prop_assert_eq!(s.quantile(0.0).unwrap().to_bits(), summary.min.to_bits());
+        prop_assert_eq!(s.quantile(1.0).unwrap().to_bits(), summary.max.to_bits());
+    }
+}

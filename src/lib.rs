@@ -68,13 +68,24 @@ pub mod prelude {
     };
     pub use qgov_bench::harness::{precharacterize, run_experiment, ExperimentOutcome};
     pub use qgov_bench::runner::{frames_from_env, ExperimentBatch, RunnerConfig, RunnerMode};
+    pub use qgov_bench::sweep::{
+        run_fig3_sweep, run_fig3_sweep_with, run_shared_table_ablation_sweep,
+        run_shared_table_ablation_sweep_with, run_smoothing_ablation_sweep,
+        run_smoothing_ablation_sweep_with, run_state_levels_ablation_sweep,
+        run_state_levels_ablation_sweep_with, run_table1_sweep, run_table1_sweep_with,
+        run_table2_sweep, run_table2_sweep_with, run_table3_sweep, run_table3_sweep_with,
+        Aggregate, SeedSweep,
+    };
     pub use qgov_core::{ExplorationKind, RtmConfig, RtmGovernor, StateKind};
     pub use qgov_governors::{
         ConservativeGovernor, EpochObservation, GeQiuConfig, GeQiuGovernor, Governor,
         GovernorContext, OndemandGovernor, OracleGovernor, PerformanceGovernor, PowersaveGovernor,
         SchedutilGovernor, SlackTracker, UserspaceGovernor, VfDecision,
     };
-    pub use qgov_metrics::{ComparisonTable, MispredictionStats, RunReport, Series};
+    pub use qgov_metrics::{
+        ComparisonTable, MetricSummary, MispredictionStats, OnlineStats, RunReport, SampleStats,
+        Series, SweepFormat, SweepTable,
+    };
     pub use qgov_rl::{DecayingEpsilon, EpdPolicy, EwmaPredictor, Predictor, QTable, SlackReward};
     pub use qgov_sim::{
         DvfsConfig, Opp, OppTable, Platform, PlatformConfig, SensorConfig, ThermalConfig, VfDomain,

@@ -126,6 +126,110 @@ fn fig3_shape() {
     );
 }
 
+/// Table I's energy ranking must hold for the *mean over five seeds*,
+/// not just seed 42/2017: stochastic exploration may perturb a single
+/// run, but the paper's claim is about the method, so the cross-seed
+/// mean (and even the per-seed extremes of the proposed-vs-worst gap)
+/// must keep the ordering.
+#[test]
+fn table1_energy_ranking_holds_in_the_mean_over_five_seeds() {
+    let sweep = SeedSweep::base(2017, 5);
+    let result = run_table1_sweep(&sweep, 1_200);
+    let find = |needle: &str| {
+        result
+            .rows
+            .iter()
+            .find(|r| r.method.contains(needle))
+            .unwrap_or_else(|| panic!("row {needle} missing"))
+    };
+    let ondemand = find("Ondemand");
+    let geqiu = find("Multi-core");
+    let proposed = find("Proposed");
+    let oracle = find("Oracle");
+
+    for row in [ondemand, geqiu, proposed, oracle] {
+        assert_eq!(row.normalized_energy.n, 5, "{}", row.method);
+    }
+    // Oracle normalisation is exact at every seed: the constant-series
+    // aggregate is 1.0 with zero spread.
+    assert!((oracle.normalized_energy.mean - 1.0).abs() < 1e-9);
+    assert_eq!(oracle.normalized_energy.std_dev, 0.0);
+
+    assert!(
+        proposed.normalized_energy.mean < ondemand.normalized_energy.mean,
+        "mean energy: proposed {:.3} must beat ondemand {:.3}",
+        proposed.normalized_energy.mean,
+        ondemand.normalized_energy.mean
+    );
+    assert!(
+        proposed.normalized_energy.mean < geqiu.normalized_energy.mean,
+        "mean energy: proposed {:.3} must beat multi-core DVFS {:.3}",
+        proposed.normalized_energy.mean,
+        geqiu.normalized_energy.mean
+    );
+    // The ordering is not a lucky-seed artefact: even the proposed
+    // approach's *worst* seed beats both baselines' *best* seeds.
+    let worst_baseline_best = ondemand
+        .normalized_energy
+        .min
+        .min(geqiu.normalized_energy.min);
+    assert!(
+        proposed.normalized_energy.max < worst_baseline_best,
+        "proposed worst seed ({:.3}) must still beat the baselines' best ({:.3})",
+        proposed.normalized_energy.max,
+        worst_baseline_best
+    );
+    // Mean savings stay material (> 5 %) against the worst baseline.
+    let worst = ondemand
+        .normalized_energy
+        .mean
+        .max(geqiu.normalized_energy.mean);
+    assert!(
+        (worst - proposed.normalized_energy.mean) / worst > 0.05,
+        "expected >5% mean saving, got {:.1}%",
+        (worst - proposed.normalized_energy.mean) / worst * 100.0
+    );
+    // Proposed runs closest to the deadline in the mean.
+    assert!(
+        proposed.normalized_performance.mean > ondemand.normalized_performance.mean
+            && proposed.normalized_performance.mean > geqiu.normalized_performance.mean
+    );
+}
+
+/// Table II's EPD < UPD exploration ordering must hold for the *mean
+/// over five seeds* on every application — the claim the paper's
+/// single-run table cannot itself establish.
+#[test]
+fn table2_epd_beats_upd_in_the_mean_over_five_seeds() {
+    let sweep = SeedSweep::base(2017, 5);
+    let result = run_table2_sweep(&sweep, 600);
+    assert_eq!(result.rows.len(), 3);
+    for row in &result.rows {
+        assert_eq!(row.epd_explorations.n, 5, "{}", row.app);
+        assert!(
+            row.epd_explorations.mean < row.upd_explorations.mean,
+            "{}: mean EPD ({:.1}) must explore less than mean UPD ({:.1})",
+            row.app,
+            row.epd_explorations.mean,
+            row.upd_explorations.mean
+        );
+        // The per-seed pairwise ratio stays a meaningful reduction on
+        // average, and no single seed inverts the ordering.
+        assert!(
+            row.epd_upd_ratio.mean < 0.95,
+            "{}: mean reduction too small (ratio {:.2})",
+            row.app,
+            row.epd_upd_ratio.mean
+        );
+        assert!(
+            row.epd_upd_ratio.max < 1.0,
+            "{}: some seed inverted EPD < UPD (worst ratio {:.2})",
+            row.app,
+            row.epd_upd_ratio.max
+        );
+    }
+}
+
 /// The ablations run and show their expected direction.
 #[test]
 fn ablations_run_and_point_the_right_way() {

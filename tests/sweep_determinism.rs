@@ -1,0 +1,176 @@
+//! The multi-seed sweep layer's determinism guarantees, end to end:
+//!
+//! 1. a sweep aggregated serially is **bit-identical** to the same
+//!    sweep on any worker count (inherited from the runner, preserved
+//!    by the aggregation fold);
+//! 2. aggregate values are **invariant to seed-list order** (summaries
+//!    sort their samples before folding);
+//! 3. the cells of one sweep batch are **independent across seeds** —
+//!    each per-seed result equals the same seed run alone;
+//! 4. a single-seed sweep degenerates to exactly the single-run
+//!    experiment (the property that lets `QGOV_SEEDS` default to 1
+//!    without perturbing recorded baselines).
+//!
+//! CI re-runs this file with `QGOV_SEEDS=3 QGOV_WORKERS=3` so a
+//! non-default sweep size and worker count exercise the same
+//! assertions; [`sweep_under_test`] and [`parallel_config`] honour
+//! those overrides and otherwise pin n = 5 seeds and 3 workers.
+
+use qgov::prelude::*;
+
+/// The sweep every comparison runs: `QGOV_SEEDS` if it names one (as
+/// the CI matrix does), else the 5-seed range from base 2017.
+fn sweep_under_test() -> SeedSweep {
+    let from_env = SeedSweep::from_env(2017);
+    if from_env.n() == 1 {
+        SeedSweep::base(2017, 5)
+    } else {
+        from_env
+    }
+}
+
+/// The parallel side of every comparison: `QGOV_WORKERS` if it names a
+/// worker count, else 3 workers.
+fn parallel_config() -> RunnerConfig {
+    let from_env = RunnerConfig::from_env();
+    if from_env.is_serial() {
+        RunnerConfig::with_workers(3)
+    } else {
+        from_env
+    }
+}
+
+fn assert_summary_bits(label: &str, a: &MetricSummary, b: &MetricSummary) {
+    assert_eq!(a.n, b.n, "{label}: n");
+    assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{label}: mean");
+    assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits(), "{label}: std_dev");
+    assert_eq!(a.min.to_bits(), b.min.to_bits(), "{label}: min");
+    assert_eq!(a.max.to_bits(), b.max.to_bits(), "{label}: max");
+    assert_eq!(a.ci95.to_bits(), b.ci95.to_bits(), "{label}: ci95");
+}
+
+#[test]
+fn table1_sweep_parallel_is_bit_identical_to_serial() {
+    let sweep = sweep_under_test();
+    let serial = run_table1_sweep_with(&sweep, 200, &RunnerConfig::serial());
+    let parallel = run_table1_sweep_with(&sweep, 200, &parallel_config());
+    assert_eq!(serial.per_seed, parallel.per_seed);
+    assert_eq!(serial.table.render(), parallel.table.render());
+    for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(s.method, p.method);
+        assert_summary_bits(&s.method, &s.normalized_energy, &p.normalized_energy);
+        assert_summary_bits(&s.method, &s.energy_joules, &p.energy_joules);
+        assert_summary_bits(&s.method, &s.miss_rate, &p.miss_rate);
+    }
+}
+
+#[test]
+fn table2_and_table3_sweeps_parallel_match_serial() {
+    let sweep = sweep_under_test();
+    let serial = run_table2_sweep_with(&sweep, 250, &RunnerConfig::serial());
+    let parallel = run_table2_sweep_with(&sweep, 250, &parallel_config());
+    assert_eq!(serial.rows, parallel.rows);
+    assert_eq!(serial.table.render(), parallel.table.render());
+
+    let serial = run_table3_sweep_with(&sweep, 250, &RunnerConfig::serial());
+    let parallel = run_table3_sweep_with(&sweep, 250, &parallel_config());
+    assert_eq!(serial.rows, parallel.rows);
+}
+
+#[test]
+fn fig3_and_ablation_sweeps_parallel_match_serial() {
+    let sweep = sweep_under_test();
+    let serial = run_fig3_sweep_with(&sweep, 150, &RunnerConfig::serial());
+    let parallel = run_fig3_sweep_with(&sweep, 150, &parallel_config());
+    assert_summary_bits(
+        "early",
+        &serial.early_misprediction,
+        &parallel.early_misprediction,
+    );
+    assert_summary_bits(
+        "late",
+        &serial.late_misprediction,
+        &parallel.late_misprediction,
+    );
+    assert_eq!(serial.per_seed, parallel.per_seed);
+
+    let serial = run_shared_table_ablation_sweep_with(&sweep, 150, &RunnerConfig::serial());
+    let parallel = run_shared_table_ablation_sweep_with(&sweep, 150, &parallel_config());
+    assert_eq!(serial.rows, parallel.rows);
+    assert_eq!(serial.table.render(), parallel.table.render());
+}
+
+#[test]
+fn aggregates_are_invariant_to_seed_list_order() {
+    let forward = SeedSweep::new(vec![2017, 5, 77]);
+    let reversed = SeedSweep::new(vec![77, 5, 2017]);
+    let runner = parallel_config();
+
+    let a = run_table2_sweep_with(&forward, 200, &runner);
+    let b = run_table2_sweep_with(&reversed, 200, &runner);
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.app, rb.app);
+        assert_summary_bits(&ra.app, &ra.upd_explorations, &rb.upd_explorations);
+        assert_summary_bits(&ra.app, &ra.epd_explorations, &rb.epd_explorations);
+        assert_summary_bits(&ra.app, &ra.epd_upd_ratio, &rb.epd_upd_ratio);
+    }
+    // The rendered aggregate table is identical too; only the per-seed
+    // drill-down (which documents sweep order) differs.
+    assert_eq!(a.table.render(), b.table.render());
+
+    let a = run_table3_sweep_with(&forward, 200, &runner);
+    let b = run_table3_sweep_with(&reversed, 200, &runner);
+    assert_eq!(a.table.render(), b.table.render());
+}
+
+#[test]
+fn sweep_cells_are_independent_across_seeds() {
+    // Every per-seed result inside one multi-seed batch must be
+    // bit-identical to the same seed run on its own — no state bleed
+    // between the seeds of a batch.
+    let sweep = SeedSweep::new(vec![2017, 5, 77]);
+    let swept = run_table3_sweep_with(&sweep, 200, &parallel_config());
+    for (i, &seed) in sweep.seeds().iter().enumerate() {
+        let alone = qgov::bench::experiments::run_table3_with(seed, 200, &RunnerConfig::serial());
+        assert_eq!(swept.per_seed[i], alone, "seed {seed}");
+    }
+}
+
+#[test]
+fn single_seed_sweep_preserves_the_single_run_baseline() {
+    let sweep = SeedSweep::single(2017);
+    for runner in [RunnerConfig::serial(), parallel_config()] {
+        let swept = run_table1_sweep_with(&sweep, 200, &runner);
+        let single = qgov::bench::experiments::run_table1_with(2017, 200, &runner);
+        assert_eq!(swept.per_seed[0], single);
+        for (srow, row) in swept.rows.iter().zip(&single.rows) {
+            assert_eq!(srow.method, row.method);
+            assert_eq!(srow.normalized_energy.n, 1);
+            assert_eq!(
+                srow.normalized_energy.mean.to_bits(),
+                row.normalized_energy.to_bits()
+            );
+            assert_eq!(srow.normalized_energy.std_dev, 0.0);
+            assert_eq!(srow.normalized_energy.ci95, 0.0);
+        }
+    }
+}
+
+#[test]
+fn duplicate_seeds_have_zero_spread() {
+    // Determinism in the seed means a duplicated seed list is a
+    // constant series: the mean equals the single value and every
+    // spread field collapses to exactly zero.
+    let sweep = SeedSweep::new(vec![7, 7, 7]);
+    let swept = run_table3_sweep_with(&sweep, 150, &parallel_config());
+    let single = qgov::bench::experiments::run_table3_with(7, 150, &RunnerConfig::serial());
+    for (srow, row) in swept.rows.iter().zip(&single.rows) {
+        assert_eq!(srow.exploration_epochs.n, 3);
+        assert_eq!(
+            srow.exploration_epochs.mean.to_bits(),
+            (row.exploration_epochs as f64).to_bits()
+        );
+        assert_eq!(srow.exploration_epochs.std_dev, 0.0);
+        assert_eq!(srow.exploration_epochs.ci95, 0.0);
+    }
+}

@@ -67,6 +67,7 @@ impl Bencher {
 pub struct Criterion {
     warmup_iters: u64,
     budget: Duration,
+    repeats: u64,
 }
 
 impl Default for Criterion {
@@ -74,6 +75,7 @@ impl Default for Criterion {
         Criterion {
             warmup_iters: 32,
             budget: Duration::from_millis(200),
+            repeats: 1,
         }
     }
 }
@@ -82,6 +84,23 @@ impl Criterion {
     /// Accepted for API compatibility with upstream; returns `self`
     /// unchanged.
     pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Repeats the timed pass `repeats` times per benchmark and prints
+    /// `mean ± σ` over the passes instead of a single measurement.
+    ///
+    /// Stand-in extension (no upstream equivalent): the qgov `micro`
+    /// bench uses it to report run-to-run timing spread under
+    /// `QGOV_SEEDS`; gate the call if these vendored crates are ever
+    /// swapped for the real registry ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats` is zero.
+    pub fn with_repeats(mut self, repeats: u64) -> Self {
+        assert!(repeats > 0, "need at least one measurement pass");
+        self.repeats = repeats;
         self
     }
 
@@ -97,13 +116,28 @@ impl Criterion {
         let per_iter_ns = (b.elapsed.as_nanos() as f64 / self.warmup_iters as f64).max(0.1);
         let iters = ((self.budget.as_nanos() as f64 / per_iter_ns) as u64).clamp(8, 1_000_000);
 
-        let mut b = Bencher {
-            iters,
-            elapsed: Duration::ZERO,
-        };
-        f(&mut b);
-        let mean_ns = b.elapsed.as_nanos() as f64 / iters as f64;
-        println!("{id:<44} {mean_ns:>12.1} ns/iter  ({iters} iters)");
+        let mut passes = Vec::with_capacity(self.repeats as usize);
+        for _ in 0..self.repeats {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            passes.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        if self.repeats == 1 {
+            let mean_ns = passes[0];
+            println!("{id:<44} {mean_ns:>12.1} ns/iter  ({iters} iters)");
+        } else {
+            let n = passes.len() as f64;
+            let mean = passes.iter().sum::<f64>() / n;
+            let var = passes.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            println!(
+                "{id:<44} {mean:>12.1} ± {sd:>6.1} ns/iter  ({iters} iters × {reps} passes)",
+                sd = var.sqrt(),
+                reps = self.repeats,
+            );
+        }
         self
     }
 }
@@ -145,5 +179,24 @@ mod tests {
         Criterion::default().bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
+    }
+
+    #[test]
+    fn repeats_run_the_routine_once_per_pass() {
+        let mut calls = 0u64;
+        Criterion::default()
+            .with_repeats(3)
+            .bench_function("repeated", |b| {
+                calls += 1;
+                b.iter(|| std::hint::black_box(1u64 + 1));
+            });
+        // One warm-up pass plus three measured passes.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_repeats_panics() {
+        let _ = Criterion::default().with_repeats(0);
     }
 }
