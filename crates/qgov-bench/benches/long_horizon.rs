@@ -1,0 +1,45 @@
+//! **Long-horizon streaming experiment**: the Q-learning RTM versus
+//! the Linux ondemand and conservative heuristics over a horizon far
+//! beyond the paper's ~3000-frame clips, streamed from CSV shards on
+//! disk (`qgov_workloads::ShardedTrace`) so the trace never
+//! materialises in memory. Reports convergence over time as windowed
+//! miss-rate and frame-time folds.
+//!
+//! Run with `cargo bench -p qgov-bench --bench long_horizon`.
+//! `QGOV_FRAMES` overrides the horizon (default 100 000);
+//! `QGOV_WORKERS` picks the runner policy (`serial`, a worker count,
+//! default one per core); `QGOV_SEEDS` the seed sweep (a count or a
+//! comma-separated list; default one seed, matching the recorded
+//! baselines in EXPERIMENTS.md).
+
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use qgov_bench::sweep::{run_long_horizon_sweep_with, SeedSweep};
+use std::time::Instant;
+
+fn main() {
+    let frames = frames_from_env(100_000);
+    let sweep = SeedSweep::from_env(2017);
+    let runner = RunnerConfig::from_env();
+    println!("== Long horizon: streamed traces, convergence over time ==");
+    println!(
+        "   workload: H.264 football model looped to {frames} frames at 15 fps, {}",
+        sweep.describe()
+    );
+    println!("   runner: {}\n", runner.describe());
+    let start = Instant::now();
+    let result = run_long_horizon_sweep_with(&sweep, frames, &runner);
+    let elapsed = start.elapsed();
+
+    let first = &result.per_seed[0];
+    println!(
+        "streamed from {} CSV shards of {} frames (≤ {} frames resident per replay)\n",
+        first.shard_count, first.shard_frames, first.shard_frames
+    );
+    println!("{}", result.table.render());
+    println!(
+        "convergence over time (seed {}, miss rate per window, proposed mean T/T_ref):",
+        result.seeds[0]
+    );
+    println!("{}", first.windows_table.render());
+    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+}

@@ -28,10 +28,15 @@
 use crate::harness::{precharacterize, run_experiment};
 use crate::runner::{ExperimentBatch, RunnerConfig};
 use qgov_core::{RtmConfig, RtmGovernor, StateKind};
-use qgov_governors::{GeQiuConfig, GeQiuGovernor, OndemandGovernor, OracleGovernor};
-use qgov_metrics::{ComparisonTable, MispredictionStats, RunReport, Series};
+use qgov_governors::{
+    ConservativeGovernor, GeQiuConfig, GeQiuGovernor, OndemandGovernor, OracleGovernor,
+};
+use qgov_metrics::{
+    ComparisonTable, MispredictionStats, RunReport, Series, WindowSummary, WindowedStats,
+};
 use qgov_sim::{OppTable, PlatformConfig};
-use qgov_workloads::{Application, FftModel, VideoDecoderModel, WorkloadTrace};
+use qgov_workloads::shard::ScratchDir;
+use qgov_workloads::{Application, FftModel, ShardedTrace, VideoDecoderModel, WorkloadTrace};
 
 fn fmt2(v: f64) -> String {
     format!("{v:.2}")
@@ -769,6 +774,217 @@ pub fn run_shared_table_ablation_with(
     AblationResult { rows, table }
 }
 
+/// Number of convergence windows a long-horizon run is folded into.
+pub const LONG_HORIZON_WINDOWS: u64 = 10;
+
+/// Shard length the long-horizon experiment records with for a given
+/// horizon: a quarter of the run, clamped to `[64, 4096]` frames —
+/// small runs still cross shard boundaries (exercising the streaming
+/// path), long runs stay bounded at ~4096 resident frames however far
+/// the horizon extends.
+#[must_use]
+pub fn long_horizon_shard_frames(frames: u64) -> usize {
+    usize::try_from((frames / 4).clamp(64, 4096)).expect("clamped to 4096")
+}
+
+/// One governor's outcome in the long-horizon streaming comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LongHorizonRow {
+    /// Methodology name.
+    pub method: String,
+    /// Energy normalised to the Linux ondemand run on the identical
+    /// streamed trace (the Oracle needs the whole trace in memory, so
+    /// it cannot referee a horizon whose point is never materialising
+    /// one).
+    pub normalized_energy: f64,
+    /// Mean `Tᵢ/T_ref` over the whole run.
+    pub normalized_performance: f64,
+    /// Whole-run deadline miss rate.
+    pub miss_rate: f64,
+    /// Mean OPP index over the run.
+    pub mean_opp: f64,
+    /// Absolute ground-truth energy in joules.
+    pub energy_joules: f64,
+    /// Miss rate over the first convergence window (the learning
+    /// phase, for the Q-governor).
+    pub early_miss_rate: f64,
+    /// Miss rate over the last convergence window (the exploited
+    /// policy).
+    pub late_miss_rate: f64,
+    /// Windowed deadline-miss folds ([`LONG_HORIZON_WINDOWS`] windows;
+    /// each mean is that window's miss rate).
+    pub windowed_miss: Vec<WindowSummary>,
+    /// Windowed `Tᵢ/T_ref` folds over the same windows.
+    pub windowed_frame_time: Vec<WindowSummary>,
+}
+
+/// The long-horizon experiment bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LongHorizonResult {
+    /// One row per methodology (ondemand, conservative, proposed).
+    pub rows: Vec<LongHorizonRow>,
+    /// Rendered whole-run comparison table.
+    pub table: ComparisonTable,
+    /// Rendered convergence-over-time table: per window, each
+    /// methodology's miss rate plus the proposed governor's mean
+    /// `Tᵢ/T_ref`.
+    pub windows_table: ComparisonTable,
+    /// Frames replayed.
+    pub frames: u64,
+    /// Shard length the trace was streamed at.
+    pub shard_frames: usize,
+    /// Shard files the recording produced.
+    pub shard_count: usize,
+}
+
+/// **Long horizon** — the Q-learning governor versus the Linux
+/// ondemand and conservative heuristics over a horizon streamed from
+/// disk ([`ShardedTrace`]), with the execution policy read from
+/// `QGOV_WORKERS`. Designed for ≥ 100k frames: the trace never
+/// materialises in memory.
+#[must_use]
+pub fn run_long_horizon(seed: u64, frames: u64) -> LongHorizonResult {
+    run_long_horizon_with(seed, frames, &RunnerConfig::from_env())
+}
+
+/// **Long horizon** under an explicit [`RunnerConfig`].
+///
+/// The workload (the H.264 football model looped to `frames` frames)
+/// is recorded once into CSV shards on disk; every methodology cell
+/// then streams its own [`ShardedTrace`] clone, so memory stays
+/// bounded by one shard per live cell while the replay is
+/// frame-identical across methodologies (and bit-identical to an
+/// in-memory replay of the same recording — the streaming contract
+/// `tests/long_horizon_streaming.rs` pins). Convergence over time is
+/// reported as [`LONG_HORIZON_WINDOWS`] windowed miss-rate and
+/// frame-time folds per methodology. The scratch shard directory is
+/// removed before returning.
+///
+/// # Panics
+///
+/// Panics if the scratch directory cannot be written — a long-horizon
+/// experiment without disk is meaningless.
+#[must_use]
+pub fn run_long_horizon_with(seed: u64, frames: u64, runner: &RunnerConfig) -> LongHorizonResult {
+    let shard_frames = long_horizon_shard_frames(frames);
+    // A scratch recording unique to this cell (results never depend on
+    // the directory name), removed when the experiment returns.
+    let dir = ScratchDir::unique(&format!("qgov-long-horizon-{seed}-{frames}"));
+
+    let mut app = VideoDecoderModel::h264_football_15fps(seed).with_frames(frames);
+    let trace = ShardedTrace::record(&mut app, dir.path(), frames, shard_frames)
+        .expect("long-horizon scratch recording must be writable");
+    let bounds = trace.workload_bounds();
+    let shard_count = trace.shard_count();
+    let platform_config = PlatformConfig::odroid_xu3_a15();
+
+    let mut batch = ExperimentBatch::new();
+    {
+        let (trace, config) = (trace.clone(), platform_config.clone());
+        batch.push("long-horizon/ondemand", move || {
+            let mut gov = OndemandGovernor::linux_default();
+            let mut replay = trace;
+            run_experiment(&mut gov, &mut replay, config, frames).report
+        });
+    }
+    {
+        let (trace, config) = (trace.clone(), platform_config.clone());
+        batch.push("long-horizon/conservative", move || {
+            let mut gov = ConservativeGovernor::linux_default();
+            let mut replay = trace;
+            run_experiment(&mut gov, &mut replay, config, frames).report
+        });
+    }
+    {
+        let (trace, config) = (trace, platform_config);
+        batch.push("long-horizon/rtm", move || {
+            let mut gov =
+                RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
+                    .expect("paper config is valid");
+            let mut replay = trace;
+            run_experiment(&mut gov, &mut replay, config, frames).report
+        });
+    }
+    let reports = batch.run(runner);
+    let baseline = reports.first().expect("ondemand cell present").clone();
+
+    let labels = [
+        "Linux Ondemand [5]",
+        "Linux Conservative",
+        "Proposed (Q-learning RTM)",
+    ];
+    let rows: Vec<LongHorizonRow> = labels
+        .iter()
+        .zip(&reports)
+        .map(|(method, report)| {
+            let mut miss = WindowedStats::spanning(frames, LONG_HORIZON_WINDOWS);
+            let mut frame_time = WindowedStats::spanning(frames, LONG_HORIZON_WINDOWS);
+            for stat in report.frame_stats() {
+                miss.push(if stat.met_deadline { 0.0 } else { 1.0 });
+                frame_time.push(stat.frame_time.ratio(report.period()));
+            }
+            let windowed_miss = miss.into_windows();
+            let windowed_frame_time = frame_time.into_windows();
+            LongHorizonRow {
+                method: (*method).into(),
+                normalized_energy: report.normalized_energy(&baseline),
+                normalized_performance: report.normalized_performance(),
+                miss_rate: report.miss_rate(),
+                mean_opp: report.mean_opp(),
+                energy_joules: report.total_energy().as_joules(),
+                early_miss_rate: windowed_miss.first().map_or(0.0, |w| w.mean),
+                late_miss_rate: windowed_miss.last().map_or(0.0, |w| w.mean),
+                windowed_miss,
+                windowed_frame_time,
+            }
+        })
+        .collect();
+
+    let mut table = ComparisonTable::new(vec![
+        "Methodology",
+        "Normalized energy",
+        "Normalized performance",
+        "Miss rate",
+        "Early miss (first window)",
+        "Late miss (last window)",
+        "Mean OPP",
+    ]);
+    for row in &rows {
+        table.add_row(vec![
+            row.method.clone(),
+            fmt2(row.normalized_energy),
+            fmt2(row.normalized_performance),
+            fmt_pct(row.miss_rate),
+            fmt_pct(row.early_miss_rate),
+            fmt_pct(row.late_miss_rate),
+            format!("{:.1}", row.mean_opp),
+        ]);
+    }
+
+    let mut window_headers = vec!["Window (frames)".to_owned()];
+    window_headers.extend(rows.iter().map(|r| format!("{} miss", r.method)));
+    window_headers.push("Proposed T/T_ref".to_owned());
+    let mut windows_table = ComparisonTable::new(window_headers);
+    let window_count = rows.first().map_or(0, |r| r.windowed_miss.len());
+    for w in 0..window_count {
+        let span = &rows[0].windowed_miss[w];
+        let mut cells = vec![format!("{}..{}", span.start, span.start + span.len)];
+        cells.extend(rows.iter().map(|r| fmt_pct(r.windowed_miss[w].mean)));
+        let rtm = rows.last().expect("three rows");
+        cells.push(fmt2(rtm.windowed_frame_time[w].mean));
+        windows_table.add_row(cells);
+    }
+
+    LongHorizonResult {
+        rows,
+        table,
+        windows_table,
+        frames,
+        shard_frames,
+        shard_count,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -825,5 +1041,42 @@ mod tests {
         let serial = run_table3_with(1, 200, &RunnerConfig::serial());
         let parallel = run_table3_with(1, 200, &RunnerConfig::with_workers(2));
         assert_eq!(serial.rows, parallel.rows);
+    }
+
+    #[test]
+    fn long_horizon_rows_windows_and_normalisation() {
+        let result = run_long_horizon_with(1, 400, &RunnerConfig::serial());
+        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.frames, 400);
+        // 400 frames at 100 per shard: the streaming path crossed
+        // shard boundaries.
+        assert_eq!(result.shard_frames, 100);
+        assert_eq!(result.shard_count, 4);
+        let ondemand = &result.rows[0];
+        assert!((ondemand.normalized_energy - 1.0).abs() < 1e-9);
+        for row in &result.rows {
+            assert_eq!(row.windowed_miss.len(), LONG_HORIZON_WINDOWS as usize);
+            assert_eq!(row.windowed_frame_time.len(), LONG_HORIZON_WINDOWS as usize);
+            let total: u64 = row.windowed_miss.iter().map(|w| w.len).sum();
+            assert_eq!(total, 400, "windows must tile the run exactly");
+            assert!(row.normalized_performance > 0.0, "{row:?}");
+        }
+        assert!(result.table.render().contains("Proposed"));
+        assert!(result.windows_table.render().contains("0..40"));
+    }
+
+    #[test]
+    fn long_horizon_serial_matches_parallel() {
+        let serial = run_long_horizon_with(2, 300, &RunnerConfig::serial());
+        let parallel = run_long_horizon_with(2, 300, &RunnerConfig::with_workers(3));
+        assert_eq!(serial.rows, parallel.rows);
+    }
+
+    #[test]
+    fn long_horizon_shard_frames_is_clamped() {
+        assert_eq!(long_horizon_shard_frames(100), 64);
+        assert_eq!(long_horizon_shard_frames(400), 100);
+        assert_eq!(long_horizon_shard_frames(100_000), 4096);
+        assert_eq!(long_horizon_shard_frames(10_000_000), 4096);
     }
 }

@@ -18,6 +18,13 @@
 //! | N-levels ablation | [`experiments::run_state_levels_ablation`] | `ablation_state_levels` |
 //! | EWMA-γ ablation | [`experiments::run_smoothing_ablation`] | `ablation_smoothing` |
 //! | Shared-table ablation | [`experiments::run_shared_table_ablation`] | `ablation_shared_table` |
+//! | Long horizon (beyond the paper) | [`experiments::run_long_horizon`] | `long_horizon` |
+//!
+//! The long-horizon experiment goes beyond the paper's ~3000-frame
+//! clips: it streams its workload from CSV shards on disk
+//! ([`ShardedTrace`](qgov_workloads::ShardedTrace)), so horizons of
+//! 100k+ frames replay in bounded memory, and reports convergence over
+//! time as windowed [`qgov_metrics::WindowedStats`] folds.
 //!
 //! # Batched execution
 //!

@@ -44,9 +44,10 @@
 //! ```
 
 use crate::experiments::{
-    run_fig3_with, run_shared_table_ablation_with, run_smoothing_ablation_with,
-    run_state_levels_ablation_with, run_table1_with, run_table2_with, run_table3_with,
-    AblationResult, Fig3Result, Table1Result, Table2Result, Table3Result,
+    run_fig3_with, run_long_horizon_with, run_shared_table_ablation_with,
+    run_smoothing_ablation_with, run_state_levels_ablation_with, run_table1_with, run_table2_with,
+    run_table3_with, AblationResult, Fig3Result, LongHorizonResult, Table1Result, Table2Result,
+    Table3Result,
 };
 use crate::runner::{ExperimentBatch, RunnerConfig};
 use qgov_metrics::{MetricSummary, SweepFormat, SweepTable};
@@ -668,6 +669,120 @@ pub fn run_fig3_sweep_with(sweep: &SeedSweep, frames: u64, runner: &RunnerConfig
     }
 }
 
+/// One methodology's cross-seed aggregates in the long-horizon sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LongHorizonSweepRow {
+    /// Methodology name.
+    pub method: String,
+    /// Energy normalised to the same-seed ondemand run.
+    pub normalized_energy: MetricSummary,
+    /// Mean `Tᵢ/T_ref`.
+    pub normalized_performance: MetricSummary,
+    /// Whole-run deadline miss rate.
+    pub miss_rate: MetricSummary,
+    /// Miss rate over the first convergence window.
+    pub early_miss_rate: MetricSummary,
+    /// Miss rate over the last convergence window.
+    pub late_miss_rate: MetricSummary,
+}
+
+/// The long-horizon sweep bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LongHorizonSweep {
+    /// The seeds aggregated, in sweep order.
+    pub seeds: Vec<u64>,
+    /// One aggregate row per methodology.
+    pub rows: Vec<LongHorizonSweepRow>,
+    /// Rendered `mean ± σ (n)` table.
+    pub table: SweepTable,
+    /// The underlying single-seed results (including the windowed
+    /// convergence folds), in sweep order.
+    pub per_seed: Vec<LongHorizonResult>,
+}
+
+/// **Long horizon** across a seed sweep, with the execution policy
+/// read from `QGOV_WORKERS`.
+#[must_use]
+pub fn run_long_horizon_sweep(sweep: &SeedSweep, frames: u64) -> LongHorizonSweep {
+    run_long_horizon_sweep_with(sweep, frames, &RunnerConfig::from_env())
+}
+
+/// **Long horizon** across a seed sweep under an explicit
+/// [`RunnerConfig`]: one cell per seed, each recording its own
+/// streamed trace to a private scratch directory and replaying it
+/// through all three methodologies; whole-run metrics plus the
+/// early/late convergence-window miss rates are folded into
+/// per-methodology aggregates.
+#[must_use]
+pub fn run_long_horizon_sweep_with(
+    sweep: &SeedSweep,
+    frames: u64,
+    runner: &RunnerConfig,
+) -> LongHorizonSweep {
+    let inner = cell_runner(sweep, runner);
+    let agg = Aggregate::collect(
+        "long-horizon",
+        sweep,
+        frames,
+        runner,
+        move |seed, frames| run_long_horizon_with(seed, frames, &inner),
+    );
+
+    let methods: Vec<String> = agg.results()[0]
+        .rows
+        .iter()
+        .map(|r| r.method.clone())
+        .collect();
+    let rows: Vec<LongHorizonSweepRow> = methods
+        .iter()
+        .enumerate()
+        .map(|(i, method)| {
+            debug_assert!(
+                agg.results().iter().all(|r| r.rows[i].method == *method),
+                "methodology order must not depend on the seed"
+            );
+            LongHorizonSweepRow {
+                method: method.clone(),
+                normalized_energy: agg.summarize(|r| r.rows[i].normalized_energy),
+                normalized_performance: agg.summarize(|r| r.rows[i].normalized_performance),
+                miss_rate: agg.summarize(|r| r.rows[i].miss_rate),
+                early_miss_rate: agg.summarize(|r| r.rows[i].early_miss_rate),
+                late_miss_rate: agg.summarize(|r| r.rows[i].late_miss_rate),
+            }
+        })
+        .collect();
+
+    let mut table = SweepTable::new(
+        "Methodology",
+        vec![
+            ("Normalized energy", SweepFormat::Fixed(2)),
+            ("Normalized performance", SweepFormat::Fixed(2)),
+            ("Miss rate", SweepFormat::Percent(1)),
+            ("Early miss (first window)", SweepFormat::Percent(1)),
+            ("Late miss (last window)", SweepFormat::Percent(1)),
+        ],
+    );
+    for row in &rows {
+        table.add_row(
+            row.method.clone(),
+            vec![
+                row.normalized_energy,
+                row.normalized_performance,
+                row.miss_rate,
+                row.early_miss_rate,
+                row.late_miss_rate,
+            ],
+        );
+    }
+    let (seeds, per_seed) = agg.into_parts();
+    LongHorizonSweep {
+        seeds,
+        rows,
+        table,
+        per_seed,
+    }
+}
+
 /// One configuration's cross-seed aggregates in an ablation sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AblationSweepRow {
@@ -954,6 +1069,23 @@ mod tests {
             );
             assert_eq!(srow.exploration_epochs.std_dev, 0.0);
         }
+    }
+
+    #[test]
+    fn long_horizon_sweep_aggregates_all_methodologies() {
+        let sweep = SeedSweep::base(1, 2);
+        let result = run_long_horizon_sweep_with(&sweep, 300, &RunnerConfig::serial());
+        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.per_seed.len(), 2);
+        for row in &result.rows {
+            assert_eq!(row.normalized_energy.n, 2);
+        }
+        // Ondemand is the reference at every seed: exactly 1.0, zero
+        // spread.
+        let ondemand = &result.rows[0];
+        assert_eq!(ondemand.normalized_energy.mean, 1.0);
+        assert_eq!(ondemand.normalized_energy.std_dev, 0.0);
+        assert!(result.table.render().contains("Proposed"));
     }
 
     #[test]

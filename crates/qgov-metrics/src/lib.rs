@@ -15,7 +15,10 @@
 //!   with;
 //! * [`SampleStats`] / [`MetricSummary`] / [`SweepTable`] — the
 //!   order-invariant cross-seed aggregation layer (`mean ± σ (n)`
-//!   cells, quantiles, CI half-widths);
+//!   cells, p50/p95 quantiles, CI half-widths);
+//! * [`WindowedStats`] — fixed-length windowed folds in O(windows)
+//!   memory, the convergence-over-time view long-horizon streamed
+//!   experiments report;
 //! * [`ComparisonTable`] — aligned ASCII tables matching the paper's
 //!   layout, with CSV export;
 //! * [`Series`] — named (x, y) series with CSV export for figures.
@@ -29,6 +32,7 @@ mod series;
 mod stats;
 mod sweep;
 mod table;
+mod window;
 
 pub use misprediction::MispredictionStats;
 pub use report::{FrameStat, RunReport};
@@ -36,3 +40,4 @@ pub use series::Series;
 pub use stats::{t_critical_975, OnlineStats};
 pub use sweep::{MetricSummary, SampleStats, SweepFormat, SweepTable};
 pub use table::ComparisonTable;
+pub use window::{WindowSummary, WindowedStats};

@@ -90,11 +90,7 @@ impl SampleStats {
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(f64::total_cmp);
-        let pos = q * (sorted.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        let frac = pos - lo as f64;
-        Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+        Some(quantile_of_sorted(&sorted, q))
     }
 
     /// Folds the samples into a [`MetricSummary`] (order-invariant).
@@ -120,15 +116,26 @@ impl FromIterator<f64> for SampleStats {
     }
 }
 
+/// Linearly interpolated `q`-quantile of an already-sorted slice.
+fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
 /// One metric's cross-seed aggregate: sample count, mean, sample
-/// standard deviation, extrema and the 95 % confidence half-width.
+/// standard deviation, extrema, p50/p95 quantiles and the 95 %
+/// confidence half-width.
 ///
 /// Construction sorts the samples by [`f64::total_cmp`] before
 /// folding, so a summary is **bit-identical under any permutation of
 /// its samples** — what makes sweep aggregates invariant to seed-list
-/// order. With a single sample (`n = 1`) the spread fields are all
-/// zero and [`MetricSummary::cell`] renders a bare mean: σ of one
-/// observation is undefined, not small.
+/// order. The quantiles use the same linear interpolation between
+/// order statistics as [`SampleStats::quantile`]. With a single sample
+/// (`n = 1`) the spread fields are all zero and [`MetricSummary::cell`]
+/// renders a bare mean: σ of one observation is undefined, not small.
 ///
 /// # Examples
 ///
@@ -139,6 +146,7 @@ impl FromIterator<f64> for SampleStats {
 /// assert_eq!(s.n, 5);
 /// assert_eq!(s.mean, 3.0);
 /// assert_eq!((s.min, s.max), (1.0, 5.0));
+/// assert_eq!((s.p50, s.p95), (3.0, 4.8));
 /// assert_eq!(s.cell(1), "3.0 ± 1.6 (n=5)");
 /// assert_eq!(MetricSummary::from_samples(&[2.5]).cell(2), "2.50 (n=1)");
 /// ```
@@ -154,6 +162,10 @@ pub struct MetricSummary {
     pub min: f64,
     /// Largest sample (zero when empty).
     pub max: f64,
+    /// Median (0.5-quantile, interpolated; zero when empty).
+    pub p50: f64,
+    /// 0.95-quantile (interpolated; zero when empty).
+    pub p95: f64,
     /// Half-width of the 95 % Student-t confidence interval on the
     /// mean; zero when `n < 2`.
     pub ci95: f64,
@@ -173,12 +185,22 @@ impl MetricSummary {
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
         let stats: OnlineStats = sorted.iter().copied().collect();
+        let (p50, p95) = if sorted.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                quantile_of_sorted(&sorted, 0.5),
+                quantile_of_sorted(&sorted, 0.95),
+            )
+        };
         MetricSummary {
             n: stats.count(),
             mean: stats.mean(),
             std_dev: stats.sample_std_dev(),
             min: stats.min().unwrap_or(0.0),
             max: stats.max().unwrap_or(0.0),
+            p50,
+            p95,
             ci95: stats.ci95_half_width(),
         }
     }
@@ -347,13 +369,13 @@ impl SweepTable {
     }
 
     /// Exports the full summaries as CSV: per metric column `M`, the
-    /// columns `M mean`, `M sd`, `M min`, `M max`, `M ci95`, `M n`,
-    /// all in raw (unscaled) units.
+    /// columns `M mean`, `M sd`, `M p50`, `M p95`, `M min`, `M max`,
+    /// `M ci95`, `M n`, all in raw (unscaled) units.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut headers = vec![self.label_header.clone()];
         for (h, _) in &self.columns {
-            for part in ["mean", "sd", "min", "max", "ci95", "n"] {
+            for part in ["mean", "sd", "p50", "p95", "min", "max", "ci95", "n"] {
                 headers.push(format!("{h} {part}"));
             }
         }
@@ -363,6 +385,8 @@ impl SweepTable {
             for s in summaries {
                 cells.push(format!("{}", s.mean));
                 cells.push(format!("{}", s.std_dev));
+                cells.push(format!("{}", s.p50));
+                cells.push(format!("{}", s.p95));
                 cells.push(format!("{}", s.min));
                 cells.push(format!("{}", s.max));
                 cells.push(format!("{}", s.ci95));
@@ -400,6 +424,10 @@ mod tests {
         assert_eq!(
             (a.min.to_bits(), a.max.to_bits()),
             (b.min.to_bits(), b.max.to_bits())
+        );
+        assert_eq!(
+            (a.p50.to_bits(), a.p95.to_bits()),
+            (b.p50.to_bits(), b.p95.to_bits())
         );
     }
 
@@ -442,6 +470,57 @@ mod tests {
     fn quantile_rejects_out_of_range() {
         let s: SampleStats = [1.0].into_iter().collect();
         let _ = s.quantile(1.5);
+    }
+
+    #[test]
+    fn summary_quantiles_match_sample_stats() {
+        let xs = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0];
+        let summary = MetricSummary::from_samples(&xs);
+        let stats: SampleStats = xs.into_iter().collect();
+        assert_eq!(
+            summary.p50.to_bits(),
+            stats.quantile(0.5).unwrap().to_bits()
+        );
+        assert_eq!(
+            summary.p95.to_bits(),
+            stats.quantile(0.95).unwrap().to_bits()
+        );
+        // Interpolated: p95 sits between the two largest order stats.
+        assert!(summary.p95 > 7.0 && summary.p95 < 9.0);
+        // Degenerate cases: one sample collapses, empty zeroes out.
+        let one = MetricSummary::from_samples(&[4.2]);
+        assert_eq!((one.p50, one.p95), (4.2, 4.2));
+        let none = MetricSummary::from_samples(&[]);
+        assert_eq!((none.p50, none.p95), (0.0, 0.0));
+    }
+
+    #[test]
+    fn wide_csv_exports_quantile_columns() {
+        let mut t = SweepTable::new("Methodology", vec![("Energy", SweepFormat::Fixed(2))]);
+        t.add_row(
+            "Proposed",
+            vec![MetricSummary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0])],
+        );
+        let csv = t.to_csv();
+        let headers: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        assert_eq!(
+            headers,
+            vec![
+                "Methodology",
+                "Energy mean",
+                "Energy sd",
+                "Energy p50",
+                "Energy p95",
+                "Energy min",
+                "Energy max",
+                "Energy ci95",
+                "Energy n",
+            ]
+        );
+        let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(row[3], "3"); // p50
+        assert_eq!(row[4], "4.8"); // p95, interpolated
+        assert_eq!(row[8], "5"); // n
     }
 
     #[test]

@@ -18,6 +18,27 @@ pub enum WorkloadError {
         /// What went wrong.
         reason: String,
     },
+    /// A filesystem operation on a sharded trace failed.
+    ///
+    /// Carries the rendered [`std::io::Error`] rather than the error
+    /// itself so the type stays `Clone + PartialEq` like its siblings.
+    Io {
+        /// The file or directory the operation touched.
+        path: String,
+        /// The rendered I/O error.
+        reason: String,
+    },
+}
+
+impl WorkloadError {
+    /// Wraps an [`std::io::Error`] for `path` into [`WorkloadError::Io`].
+    #[must_use]
+    pub fn io(path: &std::path::Path, error: &std::io::Error) -> Self {
+        WorkloadError::Io {
+            path: path.display().to_string(),
+            reason: error.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for WorkloadError {
@@ -28,6 +49,9 @@ impl fmt::Display for WorkloadError {
             }
             WorkloadError::ParseTraceError { line, reason } => {
                 write!(f, "trace parse error at line {line}: {reason}")
+            }
+            WorkloadError::Io { path, reason } => {
+                write!(f, "trace I/O error on {path}: {reason}")
             }
         }
     }

@@ -22,7 +22,11 @@
 //!   with PARSEC-like and SPLASH-2-like presets (see [`suites`]);
 //! * [`SyntheticWorkload`] — constant/ramp/square/sine + noise patterns
 //!   for targeted tests and ablations;
-//! * [`WorkloadTrace`] — record/replay with CSV round-trip.
+//! * [`WorkloadTrace`] — record/replay with CSV round-trip;
+//! * [`ShardedTrace`] / [`ShardWriter`] — the streaming counterpart:
+//!   record and replay in bounded-memory CSV shards on disk, for
+//!   long-horizon experiments whose traces must never materialise in
+//!   memory (see [`shard`]).
 //!
 //! # Example
 //!
@@ -35,6 +39,32 @@
 //! assert!(!frame.threads.is_empty());
 //! assert!(frame.total_cycles().count() > 0);
 //! ```
+//!
+//! # Streaming example: record → shard to CSV → stream-replay
+//!
+//! A recording streamed through [`ShardedTrace`] replays bit-identically
+//! to the in-memory [`WorkloadTrace`] while holding at most one shard
+//! of frames resident:
+//!
+//! ```
+//! use qgov_workloads::{Application, ShardedTrace, VideoDecoderModel, WorkloadTrace};
+//!
+//! let dir = std::env::temp_dir().join(format!("qgov-stream-doc-{}", std::process::id()));
+//! let mut app = VideoDecoderModel::mpeg4_svga_24fps(7).with_frames(90);
+//!
+//! // Record 90 frames into CSV shards of 25 frames (4 shards on disk)...
+//! let mut streamed = ShardedTrace::record(&mut app, &dir, 90, 25).unwrap();
+//! assert_eq!(streamed.shard_count(), 4);
+//!
+//! // ...and stream-replay: frame-for-frame equal to the in-memory trace.
+//! let mut whole = WorkloadTrace::record(&mut app);
+//! for _ in 0..90 {
+//!     assert_eq!(streamed.next_frame(), whole.next_frame());
+//! }
+//! assert!(streamed.resident_frames() <= 25);
+//!
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +76,7 @@ mod fft;
 mod frame;
 mod parsec;
 mod process;
+pub mod shard;
 mod synthetic;
 mod trace;
 mod video;
@@ -65,6 +96,7 @@ pub use fft::{fft_radix2, Complex, FftModel};
 pub use frame::{FrameDemand, ThreadDemand};
 pub use parsec::{Phase, PhasedBenchmarkModel};
 pub use process::{Ar1Process, MarkovChain};
+pub use shard::{ScratchDir, ShardWriter, ShardedTrace, TraceShard};
 pub use synthetic::SyntheticWorkload;
 pub use trace::WorkloadTrace;
 pub use video::{FrameClass, VideoDecoderModel, VideoParams};

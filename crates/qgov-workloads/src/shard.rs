@@ -1,0 +1,970 @@
+//! Sharded streaming trace record and replay.
+//!
+//! [`WorkloadTrace`] materialises every frame of a recording in one
+//! `Vec`, which caps experiments at horizons that fit in memory. The
+//! paper's Q-learning governor, however, is pitched for *run-time*
+//! operation: long-horizon evaluation — hundreds of thousands of
+//! decision epochs — is exactly where a learned policy separates from
+//! the static heuristics it is compared against. This module provides
+//! the bounded-memory counterpart:
+//!
+//! * [`ShardWriter`] — records a frame stream to a directory of CSV
+//!   *shard files*, flushing every `frames_per_shard` frames, so the
+//!   writer never holds more than one shard of frames;
+//! * [`TraceShard`] — one loaded shard: a contiguous slice of the
+//!   recorded sequence with its global frame offset;
+//! * [`ShardedTrace`] — the streamed reader: implements
+//!   [`Application`] by lazily pulling the shard containing its cursor
+//!   from disk, so replay holds at most `frames_per_shard` frames
+//!   resident however long the trace is.
+//!
+//! # File format
+//!
+//! Every shard file is itself a complete [`WorkloadTrace`] CSV
+//! document (the shard's frames, the trace's name and period), written
+//! as `shard-NNNNNN.csv`. A `manifest.csv` header line ties them
+//! together and carries the pre-characterisation workload bounds
+//! measured during recording, so the learning governors can be
+//! configured without a second pass over the data:
+//!
+//! ```text
+//! # name=h264 period_ns=66666666 frames=100000 frames_per_shard=4096 shards=25 min_cycles=... max_cycles=...
+//! ```
+//!
+//! # Replay contract
+//!
+//! Streamed replay is **bit-identical** to in-memory replay: for the
+//! same recorded application, [`ShardedTrace`] and [`WorkloadTrace`]
+//! yield the same [`FrameDemand`] sequence frame-for-frame, including
+//! the wrap-around past the end (`tests/shard_streaming.rs` pins this
+//! with a property test; the workspace-level
+//! `tests/long_horizon_streaming.rs` pins bit-identical *experiment
+//! reports* through the full harness).
+//!
+//! # Examples
+//!
+//! Record a workload into shards, then stream it back:
+//!
+//! ```
+//! use qgov_units::{Cycles, SimTime};
+//! use qgov_workloads::{Application, ShardedTrace, SyntheticWorkload, WorkloadTrace};
+//!
+//! let dir = std::env::temp_dir().join(format!("qgov-shard-doc-{}", std::process::id()));
+//! let mut app = SyntheticWorkload::constant(
+//!     "c", Cycles::from_mcycles(8), SimTime::from_ms(40), 100, 4, 7,
+//! )
+//! .with_noise(0.2);
+//!
+//! // 100 frames in shards of 32: three full shards + a 4-frame tail.
+//! let mut streamed = ShardedTrace::record(&mut app, &dir, 100, 32).unwrap();
+//! assert_eq!(streamed.shard_count(), 4);
+//!
+//! // Streamed replay equals in-memory replay frame-for-frame...
+//! let mut whole = WorkloadTrace::record(&mut app);
+//! for _ in 0..100 {
+//!     assert_eq!(streamed.next_frame(), whole.next_frame());
+//! }
+//! // ...while holding at most one shard of frames resident.
+//! assert!(streamed.resident_frames() <= 32);
+//!
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::{Application, FrameDemand, WorkloadError, WorkloadTrace};
+use qgov_units::SimTime;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside a sharded-trace directory.
+pub const MANIFEST_FILE: &str = "manifest.csv";
+
+/// A uniquely named scratch directory for throwaway sharded-trace
+/// recordings, removed (best-effort) on drop.
+///
+/// Concurrent recorders — parallel sweep cells, concurrent test
+/// threads — must never share shard files, so the path combines the
+/// caller's prefix with the process id and a process-wide counter.
+/// The directory itself is *not* created here;
+/// [`ShardWriter::create`] / [`ShardedTrace::record`] do that.
+/// Experiment results never depend on the directory name.
+///
+/// # Examples
+///
+/// ```
+/// use qgov_units::{Cycles, SimTime};
+/// use qgov_workloads::{shard::ScratchDir, ShardedTrace, SyntheticWorkload};
+///
+/// let scratch = ScratchDir::unique("qgov-scratch-doc");
+/// let mut app = SyntheticWorkload::constant(
+///     "c", Cycles::from_mcycles(1), SimTime::from_ms(40), 10, 2, 0,
+/// );
+/// let trace = ShardedTrace::record(&mut app, scratch.path(), 10, 4).unwrap();
+/// assert_eq!(trace.shard_count(), 3);
+/// drop(scratch); // recording removed from disk
+/// ```
+#[derive(Debug)]
+pub struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    /// A process-unique path under the system temp directory:
+    /// `<tmp>/<prefix>-<pid>-<counter>`.
+    #[must_use]
+    pub fn unique(prefix: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        ScratchDir(std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id())))
+    }
+
+    /// The scratch path (may not exist yet).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// File name of shard `index` inside a sharded-trace directory.
+#[must_use]
+pub fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:06}.csv")
+}
+
+/// One loaded shard: a contiguous run of recorded frames together with
+/// its position in the global sequence.
+///
+/// Shards are produced by [`ShardedTrace::load_shard`]; the streaming
+/// reader holds at most one at a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceShard {
+    index: usize,
+    start_frame: u64,
+    frames: Vec<FrameDemand>,
+}
+
+impl TraceShard {
+    /// The shard's index within the trace.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Global index of the shard's first frame.
+    #[must_use]
+    pub fn start_frame(&self) -> u64 {
+        self.start_frame
+    }
+
+    /// Number of frames in the shard (every shard holds
+    /// `frames_per_shard` frames except possibly the last).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `false`: shards are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shard's frames, in global order.
+    #[must_use]
+    pub fn frame_demands(&self) -> &[FrameDemand] {
+        &self.frames
+    }
+
+    /// `true` when the shard covers global frame index `frame`.
+    #[must_use]
+    pub fn contains(&self, frame: u64) -> bool {
+        frame >= self.start_frame && frame < self.start_frame + self.frames.len() as u64
+    }
+
+    /// The frame at global index `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard does not [`contain`](TraceShard::contains)
+    /// `frame`.
+    #[must_use]
+    pub fn frame(&self, frame: u64) -> &FrameDemand {
+        assert!(
+            self.contains(frame),
+            "shard {} covers frames {}..{}, not {frame}",
+            self.index,
+            self.start_frame,
+            self.start_frame + self.frames.len() as u64
+        );
+        &self.frames[(frame - self.start_frame) as usize]
+    }
+}
+
+/// Incremental writer for a sharded trace: buffers frames and flushes a
+/// shard file every `frames_per_shard` frames, so recording a
+/// million-frame trace never holds more than one shard in memory.
+///
+/// [`ShardWriter::finish`] flushes the (possibly shorter) final shard,
+/// writes the manifest and reopens the directory as a [`ShardedTrace`].
+/// The writer also tracks the min/max total cycles per frame while
+/// streaming — the pre-characterisation bounds the learning governors
+/// need — and persists them in the manifest, so no second pass over
+/// the recording is required.
+#[derive(Debug)]
+pub struct ShardWriter {
+    dir: PathBuf,
+    name: String,
+    period: SimTime,
+    frames_per_shard: usize,
+    buffer: Vec<FrameDemand>,
+    frames_written: u64,
+    shards_written: usize,
+    min_cycles: u64,
+    max_cycles: u64,
+}
+
+impl ShardWriter {
+    /// Creates the shard directory (and parents) and an empty writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Io`] if the directory cannot be
+    /// created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames_per_shard` is zero, `period` is zero, or
+    /// `name` is empty or contains whitespace — all programming
+    /// errors, caught *before* any shard I/O happens. (The name is
+    /// embedded in the space-delimited CSV metadata headers, where
+    /// whitespace would corrupt the document the writer is about to
+    /// produce.)
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        name: impl Into<String>,
+        period: SimTime,
+        frames_per_shard: usize,
+    ) -> Result<Self, WorkloadError> {
+        assert!(frames_per_shard > 0, "a shard needs at least one frame");
+        assert!(!period.is_zero(), "period must be non-zero");
+        let name = name.into();
+        assert!(
+            !name.is_empty() && !name.chars().any(char::is_whitespace),
+            "workload name {name:?} must be non-empty without whitespace: \
+             it is embedded in space-delimited CSV headers"
+        );
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| WorkloadError::io(&dir, &e))?;
+        Ok(ShardWriter {
+            dir,
+            name,
+            period,
+            frames_per_shard,
+            buffer: Vec::with_capacity(frames_per_shard),
+            frames_written: 0,
+            shards_written: 0,
+            min_cycles: u64::MAX,
+            max_cycles: 0,
+        })
+    }
+
+    /// Appends one frame, flushing a shard file when the buffer fills.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Io`] if a full shard fails to write.
+    pub fn push(&mut self, frame: FrameDemand) -> Result<(), WorkloadError> {
+        let cycles = frame.total_cycles().count();
+        self.min_cycles = self.min_cycles.min(cycles);
+        self.max_cycles = self.max_cycles.max(cycles);
+        self.buffer.push(frame);
+        self.frames_written += 1;
+        if self.buffer.len() == self.frames_per_shard {
+            self.flush_shard()?;
+        }
+        Ok(())
+    }
+
+    /// Frames pushed so far (buffered or flushed).
+    #[must_use]
+    pub fn frames_written(&self) -> u64 {
+        self.frames_written
+    }
+
+    /// Shard files flushed so far.
+    #[must_use]
+    pub fn shards_written(&self) -> usize {
+        self.shards_written
+    }
+
+    fn flush_shard(&mut self) -> Result<(), WorkloadError> {
+        let frames = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.frames_per_shard));
+        // A shard file is a complete WorkloadTrace CSV document: the
+        // in-memory codec is the single source of truth for the format.
+        let csv = WorkloadTrace::from_frames(&self.name, self.period, frames).to_csv();
+        let path = self.dir.join(shard_file_name(self.shards_written));
+        fs::write(&path, csv).map_err(|e| WorkloadError::io(&path, &e))?;
+        self.shards_written += 1;
+        Ok(())
+    }
+
+    /// Flushes the final (possibly short) shard, writes the manifest
+    /// and reopens the directory as a streamed [`ShardedTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Io`] on any write failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frames were pushed — a trace needs at least one
+    /// frame, matching [`WorkloadTrace::from_frames`].
+    pub fn finish(mut self) -> Result<ShardedTrace, WorkloadError> {
+        assert!(
+            self.frames_written > 0,
+            "a sharded trace needs at least one frame"
+        );
+        if !self.buffer.is_empty() {
+            self.flush_shard()?;
+        }
+        let manifest = format!(
+            "# name={} period_ns={} frames={} frames_per_shard={} shards={} \
+             min_cycles={} max_cycles={}\n",
+            self.name,
+            self.period.as_ns(),
+            self.frames_written,
+            self.frames_per_shard,
+            self.shards_written,
+            self.min_cycles,
+            self.max_cycles,
+        );
+        let path = self.dir.join(MANIFEST_FILE);
+        fs::write(&path, manifest).map_err(|e| WorkloadError::io(&path, &e))?;
+        ShardedTrace::open(&self.dir)
+    }
+}
+
+/// A recorded trace streamed from CSV shards on disk: replayable as an
+/// [`Application`] while holding at most one shard of frames in
+/// memory, however many frames the trace spans.
+///
+/// Obtained from [`ShardedTrace::record`] (record an application in
+/// bounded memory), [`ShardWriter::finish`] (incremental recording) or
+/// [`ShardedTrace::open`] (an existing directory).
+///
+/// # Replay
+///
+/// [`next_frame`](Application::next_frame) pulls the shard containing
+/// the cursor lazily and wraps around at the end, exactly like
+/// [`WorkloadTrace`]; `reset()` rewinds the cursor without touching
+/// disk (the resident shard is re-used if it covers frame zero).
+/// Cloning is cheap — metadata plus the resident shard — and each
+/// clone streams independently, which is what lets parallel experiment
+/// cells share one recording on disk without sharing any mutable
+/// state.
+#[derive(Debug, Clone)]
+pub struct ShardedTrace {
+    dir: PathBuf,
+    name: String,
+    period: SimTime,
+    total_frames: u64,
+    frames_per_shard: usize,
+    shard_count: usize,
+    min_cycles: u64,
+    max_cycles: u64,
+    cursor: u64,
+    current: Option<TraceShard>,
+    shard_loads: u64,
+}
+
+/// Equality compares the recorded *identity* (directory, name, period,
+/// frame geometry); the replay cursor, the resident shard and the
+/// load counter are iteration state, not content — mirroring
+/// [`WorkloadTrace`]'s cursor-blind equality.
+impl PartialEq for ShardedTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.dir == other.dir
+            && self.name == other.name
+            && self.period == other.period
+            && self.total_frames == other.total_frames
+            && self.frames_per_shard == other.frames_per_shard
+            && self.shard_count == other.shard_count
+    }
+}
+
+impl Eq for ShardedTrace {}
+
+impl ShardedTrace {
+    /// Records exactly `frames` frames of `app` into `dir` (resetting
+    /// `app` first, and leaving it reset afterwards, like
+    /// [`WorkloadTrace::record`]) and returns the streamed reader.
+    /// Memory stays bounded by one shard throughout, so horizons far
+    /// beyond what fits in memory record safely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Io`] on any filesystem failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` or `frames_per_shard` is zero.
+    pub fn record(
+        app: &mut dyn Application,
+        dir: impl Into<PathBuf>,
+        frames: u64,
+        frames_per_shard: usize,
+    ) -> Result<Self, WorkloadError> {
+        assert!(frames > 0, "a sharded trace needs at least one frame");
+        app.reset();
+        let mut writer = ShardWriter::create(dir, app.name(), app.period(), frames_per_shard)?;
+        for _ in 0..frames {
+            writer.push(app.next_frame())?;
+        }
+        app.reset();
+        writer.finish()
+    }
+
+    /// Opens an existing sharded-trace directory by parsing its
+    /// manifest and checking every declared shard file exists (frame
+    /// contents are validated lazily, shard by shard, as replay
+    /// reaches them — opening a million-frame trace reads only the
+    /// manifest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Io`] if the manifest is unreadable or
+    /// a shard file is missing, and [`WorkloadError::ParseTraceError`]
+    /// if the manifest is malformed or internally inconsistent.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, WorkloadError> {
+        let dir = dir.into();
+        let path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path).map_err(|e| WorkloadError::io(&path, &e))?;
+        let err = |reason: &str| WorkloadError::ParseTraceError {
+            line: 1,
+            reason: reason.to_owned(),
+        };
+
+        let mut name = None;
+        let mut period = None;
+        let mut total_frames = None;
+        let mut frames_per_shard = None;
+        let mut shard_count = None;
+        let mut min_cycles = None;
+        let mut max_cycles = None;
+        for (key, value) in crate::trace::header_fields(text.lines().next(), &err)? {
+            let parse_u64 = || -> Result<u64, WorkloadError> {
+                value
+                    .parse()
+                    .map_err(|_| err(&format!("{key} is not an integer")))
+            };
+            match key {
+                "name" => name = Some(value.to_owned()),
+                "period_ns" => period = Some(SimTime::from_ns(parse_u64()?)),
+                "frames" => total_frames = Some(parse_u64()?),
+                "frames_per_shard" => frames_per_shard = Some(parse_u64()? as usize),
+                "shards" => shard_count = Some(parse_u64()? as usize),
+                "min_cycles" => min_cycles = Some(parse_u64()?),
+                "max_cycles" => max_cycles = Some(parse_u64()?),
+                _ => return Err(err("unknown manifest key")),
+            }
+        }
+        let name = name.ok_or_else(|| err("missing name"))?;
+        let period = period.ok_or_else(|| err("missing period_ns"))?;
+        let total_frames = total_frames.ok_or_else(|| err("missing frames"))?;
+        let frames_per_shard = frames_per_shard.ok_or_else(|| err("missing frames_per_shard"))?;
+        let shard_count = shard_count.ok_or_else(|| err("missing shards"))?;
+        let min_cycles = min_cycles.ok_or_else(|| err("missing min_cycles"))?;
+        let max_cycles = max_cycles.ok_or_else(|| err("missing max_cycles"))?;
+
+        if period.is_zero() {
+            return Err(err("period must be non-zero"));
+        }
+        if total_frames == 0 {
+            return Err(err("a sharded trace needs at least one frame"));
+        }
+        if frames_per_shard == 0 {
+            return Err(err("frames_per_shard must be non-zero"));
+        }
+        let expected_shards = total_frames.div_ceil(frames_per_shard as u64) as usize;
+        if shard_count != expected_shards {
+            return Err(err(&format!(
+                "manifest declares {shard_count} shards but \
+                 {total_frames} frames at {frames_per_shard} per shard \
+                 need {expected_shards}"
+            )));
+        }
+        for index in 0..shard_count {
+            let shard = dir.join(shard_file_name(index));
+            if !shard.exists() {
+                return Err(WorkloadError::Io {
+                    path: shard.display().to_string(),
+                    reason: "shard file declared in the manifest is missing".to_owned(),
+                });
+            }
+        }
+
+        Ok(ShardedTrace {
+            dir,
+            name,
+            period,
+            total_frames,
+            frames_per_shard,
+            shard_count,
+            min_cycles,
+            max_cycles,
+            cursor: 0,
+            current: None,
+            shard_loads: 0,
+        })
+    }
+
+    /// The directory the shards live in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total recorded frames.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// `false`: sharded traces are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Frames per full shard (the final shard may be shorter).
+    #[must_use]
+    pub fn frames_per_shard(&self) -> usize {
+        self.frames_per_shard
+    }
+
+    /// Number of shard files.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Frames currently resident in memory — at most
+    /// [`frames_per_shard`](ShardedTrace::frames_per_shard), the
+    /// bounded-memory guarantee tests assert.
+    #[must_use]
+    pub fn resident_frames(&self) -> usize {
+        self.current.as_ref().map_or(0, TraceShard::len)
+    }
+
+    /// Shard files loaded from disk so far (a replay diagnostic: one
+    /// sequential pass loads each shard exactly once).
+    #[must_use]
+    pub fn shard_loads(&self) -> u64 {
+        self.shard_loads
+    }
+
+    /// The smallest and largest total cycles of any recorded frame, as
+    /// measured during recording.
+    #[must_use]
+    pub fn cycle_extrema(&self) -> (u64, u64) {
+        (self.min_cycles, self.max_cycles)
+    }
+
+    /// Pre-characterisation workload bounds `(min, max)` in cycles —
+    /// the same values `qgov_bench::harness::precharacterize` derives
+    /// from an in-memory trace, including its widening of degenerate
+    /// constant workloads, but computed during recording so no second
+    /// pass over the frames is needed.
+    #[must_use]
+    pub fn workload_bounds(&self) -> (f64, f64) {
+        let mut min = self.min_cycles as f64;
+        let mut max = self.max_cycles as f64;
+        if min >= max {
+            // Degenerate constant workload: widen artificially,
+            // mirroring `precharacterize` bit-for-bit.
+            min *= 0.9;
+            max *= 1.1 + 1e-9;
+        }
+        (min, max)
+    }
+
+    /// Index of the shard covering global frame `frame`.
+    #[must_use]
+    pub fn shard_index_of(&self, frame: u64) -> usize {
+        (frame / self.frames_per_shard as u64) as usize
+    }
+
+    /// Loads shard `index` from disk, validating it against the
+    /// manifest (name, period and the exact frame count the geometry
+    /// demands — a truncated or padded shard file is rejected here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Io`] if the file is unreadable and
+    /// [`WorkloadError::ParseTraceError`] if it is malformed or
+    /// inconsistent with the manifest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn load_shard(&self, index: usize) -> Result<TraceShard, WorkloadError> {
+        assert!(
+            index < self.shard_count,
+            "shard {index} out of range ({} shards)",
+            self.shard_count
+        );
+        let path = self.dir.join(shard_file_name(index));
+        let text = fs::read_to_string(&path).map_err(|e| WorkloadError::io(&path, &e))?;
+        let trace = WorkloadTrace::from_csv(&text)?;
+        let mismatch = |reason: String| WorkloadError::ParseTraceError { line: 1, reason };
+        if trace.name() != self.name || trace.period() != self.period {
+            return Err(mismatch(format!(
+                "shard {index} metadata ({}, {} ns) does not match the \
+                 manifest ({}, {} ns)",
+                trace.name(),
+                trace.period().as_ns(),
+                self.name,
+                self.period.as_ns()
+            )));
+        }
+        let start_frame = index as u64 * self.frames_per_shard as u64;
+        let expected = (self.total_frames - start_frame).min(self.frames_per_shard as u64);
+        if trace.len() as u64 != expected {
+            return Err(mismatch(format!(
+                "shard {index} holds {} frames but the manifest geometry \
+                 expects {expected} (truncated or padded shard file?)",
+                trace.len()
+            )));
+        }
+        Ok(TraceShard {
+            index,
+            start_frame,
+            frames: trace.into_frames(),
+        })
+    }
+
+    /// Materialises the whole trace into a [`WorkloadTrace`] — the
+    /// inverse of sharded recording, for tests and for consumers (like
+    /// the Oracle governor) that genuinely need every frame at once.
+    /// Defeats the bounded-memory purpose for long traces; replay
+    /// through [`Application`] instead wherever possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard-load error encountered.
+    pub fn to_trace(&self) -> Result<WorkloadTrace, WorkloadError> {
+        let mut frames = Vec::with_capacity(usize::try_from(self.total_frames).unwrap_or(0));
+        for index in 0..self.shard_count {
+            frames.extend(self.load_shard(index)?.frames);
+        }
+        Ok(WorkloadTrace::from_frames(&self.name, self.period, frames))
+    }
+}
+
+impl Application for ShardedTrace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn period(&self) -> SimTime {
+        self.period
+    }
+
+    fn frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Replays the recorded frames in order, streaming the shard that
+    /// covers the cursor from disk on demand; wraps around at the end
+    /// like [`WorkloadTrace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard covering the cursor cannot be loaded
+    /// (deleted, truncated or corrupted since
+    /// [`open`](ShardedTrace::open) validated the directory) — the
+    /// [`Application`] contract has no error channel, and a trace that
+    /// changes mid-replay is unrecoverable for a deterministic
+    /// experiment anyway. Use [`load_shard`](ShardedTrace::load_shard)
+    /// directly to handle shard errors as values.
+    fn next_frame(&mut self) -> FrameDemand {
+        let index = self.shard_index_of(self.cursor);
+        if self.current.as_ref().is_none_or(|s| s.index() != index) {
+            let shard = self.load_shard(index).unwrap_or_else(|e| {
+                panic!(
+                    "streaming replay of {} failed at frame {}: {e}",
+                    self.dir.display(),
+                    self.cursor
+                )
+            });
+            self.current = Some(shard);
+            self.shard_loads += 1;
+        }
+        let shard = self.current.as_ref().expect("shard just loaded");
+        let frame = shard.frame(self.cursor).clone();
+        self.cursor = (self.cursor + 1) % self.total_frames;
+        frame
+    }
+
+    /// Rewinds to frame zero without touching disk: the resident shard
+    /// is kept and simply re-used if it covers the start.
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticWorkload;
+    use qgov_units::Cycles;
+
+    fn test_dir(tag: &str) -> ScratchDir {
+        ScratchDir::unique(&format!("qgov-shard-test-{tag}"))
+    }
+
+    fn sample_app(frames: u64) -> SyntheticWorkload {
+        SyntheticWorkload::constant(
+            "sample",
+            Cycles::from_mcycles(5),
+            SimTime::from_ms(40),
+            frames,
+            2,
+            3,
+        )
+        .with_noise(0.1)
+        .with_mem_time(SimTime::from_us(500))
+    }
+
+    #[test]
+    fn record_creates_expected_geometry() {
+        let dir = test_dir("geometry");
+        let mut app = sample_app(25);
+        let trace = ShardedTrace::record(&mut app, dir.path(), 25, 10).unwrap();
+        assert_eq!(trace.len(), 25);
+        assert_eq!(trace.frames_per_shard(), 10);
+        assert_eq!(trace.shard_count(), 3);
+        assert_eq!(trace.load_shard(0).unwrap().len(), 10);
+        assert_eq!(trace.load_shard(2).unwrap().len(), 5); // truncated tail
+        assert_eq!(trace.load_shard(2).unwrap().start_frame(), 20);
+        assert!(dir.path().join(MANIFEST_FILE).exists());
+        assert!(dir.path().join(shard_file_name(2)).exists());
+        assert!(!dir.path().join(shard_file_name(3)).exists());
+    }
+
+    #[test]
+    fn streamed_replay_matches_in_memory_replay() {
+        let dir = test_dir("replay");
+        let mut app = sample_app(23);
+        let mut streamed = ShardedTrace::record(&mut app, dir.path(), 23, 7).unwrap();
+        let mut whole = WorkloadTrace::record(&mut app);
+        // Two full wraps: equality must survive the wrap-around.
+        for i in 0..46 {
+            assert_eq!(streamed.next_frame(), whole.next_frame(), "frame {i}");
+        }
+        assert!(streamed.resident_frames() <= 7);
+    }
+
+    #[test]
+    fn reset_rewinds_and_reuses_resident_shard() {
+        let dir = test_dir("reset");
+        let mut app = sample_app(12);
+        let mut trace = ShardedTrace::record(&mut app, dir.path(), 12, 12).unwrap();
+        let first = trace.next_frame();
+        for _ in 1..5 {
+            trace.next_frame();
+        }
+        let loads = trace.shard_loads();
+        trace.reset();
+        assert_eq!(trace.next_frame(), first);
+        // Single shard: the reset replay must not reload it.
+        assert_eq!(trace.shard_loads(), loads);
+    }
+
+    #[test]
+    fn sequential_pass_loads_each_shard_once() {
+        let dir = test_dir("loads");
+        let mut app = sample_app(40);
+        let mut trace = ShardedTrace::record(&mut app, dir.path(), 40, 8).unwrap();
+        for _ in 0..40 {
+            trace.next_frame();
+        }
+        assert_eq!(trace.shard_loads(), 5);
+        assert!(trace.resident_frames() <= 8);
+    }
+
+    #[test]
+    fn clones_stream_independently() {
+        let dir = test_dir("clone");
+        let mut app = sample_app(20);
+        let mut a = ShardedTrace::record(&mut app, dir.path(), 20, 6).unwrap();
+        let mut b = a.clone();
+        let first = a.next_frame();
+        for _ in 1..15 {
+            a.next_frame();
+        }
+        // b's cursor is untouched by a's replay.
+        assert_eq!(b.next_frame(), first);
+        assert_eq!(a, b); // identity equality ignores cursors
+    }
+
+    #[test]
+    fn workload_bounds_widen_degenerate_constant_workloads() {
+        let dir = test_dir("bounds");
+        let mut app = sample_app(10); // noisy: genuine spread
+        let trace = ShardedTrace::record(&mut app, dir.path(), 10, 4).unwrap();
+        let (min, max) = trace.workload_bounds();
+        let (raw_min, raw_max) = trace.cycle_extrema();
+        assert!(min < max);
+        assert_eq!(min, raw_min as f64);
+        assert_eq!(max, raw_max as f64);
+
+        let dir = test_dir("bounds-const");
+        let mut constant = SyntheticWorkload::constant(
+            "c",
+            Cycles::from_mcycles(5),
+            SimTime::from_ms(40),
+            10,
+            2,
+            0,
+        );
+        let trace = ShardedTrace::record(&mut constant, dir.path(), 10, 4).unwrap();
+        let (min, max) = trace.workload_bounds();
+        let (raw_min, raw_max) = trace.cycle_extrema();
+        assert_eq!(raw_min, raw_max);
+        assert!((min - raw_min as f64 * 0.9).abs() < 1e-6);
+        assert!(max > raw_max as f64 * 1.1 - 1e-6);
+    }
+
+    #[test]
+    fn record_resets_the_app_like_workload_trace() {
+        let dir = test_dir("reset-app");
+        let mut app = sample_app(8);
+        app.next_frame();
+        app.next_frame();
+        let mut trace = ShardedTrace::record(&mut app, dir.path(), 8, 3).unwrap();
+        // App was left reset: its next frame equals the trace's first.
+        assert_eq!(app.next_frame(), trace.next_frame());
+    }
+
+    #[test]
+    fn open_round_trips_the_manifest() {
+        let dir = test_dir("open");
+        let mut app = sample_app(15);
+        let recorded = ShardedTrace::record(&mut app, dir.path(), 15, 4).unwrap();
+        let opened = ShardedTrace::open(dir.path()).unwrap();
+        assert_eq!(recorded, opened);
+        assert_eq!(opened.name(), "sample");
+        assert_eq!(opened.period(), SimTime::from_ms(40));
+        assert_eq!(opened.cycle_extrema(), recorded.cycle_extrema());
+    }
+
+    #[test]
+    fn to_trace_materialises_the_full_recording() {
+        let dir = test_dir("materialise");
+        let mut app = sample_app(17);
+        let sharded = ShardedTrace::record(&mut app, dir.path(), 17, 5).unwrap();
+        let whole = WorkloadTrace::record(&mut app);
+        assert_eq!(sharded.to_trace().unwrap(), whole);
+    }
+
+    #[test]
+    fn open_rejects_missing_and_malformed_manifests() {
+        let dir = test_dir("bad-manifest");
+        // No directory at all.
+        assert!(matches!(
+            ShardedTrace::open(dir.path()),
+            Err(WorkloadError::Io { .. })
+        ));
+
+        fs::create_dir_all(dir.path()).unwrap();
+        let manifest = dir.path().join(MANIFEST_FILE);
+
+        // Garbage header.
+        fs::write(&manifest, "garbage\n").unwrap();
+        assert!(matches!(
+            ShardedTrace::open(dir.path()),
+            Err(WorkloadError::ParseTraceError { .. })
+        ));
+
+        // Zero frames.
+        fs::write(
+            &manifest,
+            "# name=x period_ns=1000 frames=0 frames_per_shard=4 shards=0 \
+             min_cycles=0 max_cycles=0\n",
+        )
+        .unwrap();
+        assert!(ShardedTrace::open(dir.path()).is_err());
+
+        // Inconsistent geometry: 10 frames at 4 per shard is 3 shards.
+        fs::write(
+            &manifest,
+            "# name=x period_ns=1000 frames=10 frames_per_shard=4 shards=2 \
+             min_cycles=1 max_cycles=2\n",
+        )
+        .unwrap();
+        assert!(ShardedTrace::open(dir.path()).is_err());
+    }
+
+    #[test]
+    fn open_rejects_missing_shard_files() {
+        let dir = test_dir("missing-shard");
+        let mut app = sample_app(12);
+        let _ = ShardedTrace::record(&mut app, dir.path(), 12, 4).unwrap();
+        fs::remove_file(dir.path().join(shard_file_name(1))).unwrap();
+        assert!(matches!(
+            ShardedTrace::open(dir.path()),
+            Err(WorkloadError::Io { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frame_record_panics() {
+        let dir = test_dir("zero");
+        let mut app = sample_app(5);
+        let _ = ShardedTrace::record(&mut app, dir.path(), 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "without whitespace")]
+    fn whitespace_in_workload_name_is_rejected_before_any_io() {
+        // The name is embedded in space-delimited CSV headers: a name
+        // like "my app" would corrupt the manifest the writer is about
+        // to produce, so it must fail up front, not after shard I/O.
+        let _ = ShardWriter::create(
+            std::env::temp_dir().join("qgov-shard-bad-name"),
+            "my app",
+            SimTime::from_ms(1),
+            4,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_shard_size_panics() {
+        let _ = ShardWriter::create(
+            std::env::temp_dir().join("qgov-shard-zero-size"),
+            "x",
+            SimTime::from_ms(1),
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming replay")]
+    fn replay_panics_when_a_shard_vanishes_mid_run() {
+        let dir = test_dir("vanish");
+        let mut app = sample_app(12);
+        let mut trace = ShardedTrace::record(&mut app, dir.path(), 12, 4).unwrap();
+        trace.next_frame();
+        fs::remove_file(dir.path().join(shard_file_name(1))).unwrap();
+        for _ in 0..8 {
+            trace.next_frame();
+        }
+    }
+}

@@ -10,6 +10,28 @@
 use crate::{Application, FrameDemand, ThreadDemand, WorkloadError};
 use qgov_units::{Cycles, SimTime};
 
+/// Splits a `# key=value key=value …` metadata header line into its
+/// fields — the one parser behind both the per-trace CSV header
+/// ([`WorkloadTrace::from_csv`]) and the sharded-trace manifest
+/// (`crate::shard`). `err` wraps a reason into the caller's error
+/// (carrying its own line-number context).
+pub(crate) fn header_fields<'a>(
+    line: Option<&'a str>,
+    err: &dyn Fn(&str) -> WorkloadError,
+) -> Result<Vec<(&'a str, &'a str)>, WorkloadError> {
+    let header = line
+        .and_then(|l| l.strip_prefix("# "))
+        .ok_or_else(|| err("missing `# ` metadata header"))?;
+    header
+        .split_whitespace()
+        .map(|field| {
+            field
+                .split_once('=')
+                .ok_or_else(|| err("metadata field without `=`"))
+        })
+        .collect()
+}
+
 /// A fully materialised frame sequence with its deadline, replayable as
 /// an [`Application`] and round-trippable through CSV.
 ///
@@ -102,6 +124,14 @@ impl WorkloadTrace {
         &self.frames
     }
 
+    /// Consumes the trace into its recorded frames (the sharded
+    /// streaming layer parses each shard file through
+    /// [`WorkloadTrace::from_csv`] and keeps only the frames).
+    #[must_use]
+    pub fn into_frames(self) -> Vec<FrameDemand> {
+        self.frames
+    }
+
     /// Total cycles of frame `index`.
     ///
     /// # Panics
@@ -153,16 +183,12 @@ impl WorkloadTrace {
 
         // Header line: "# name=<..> period_ns=<..> frames=<..>".
         let (hno, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
-        let header = header
-            .strip_prefix("# ")
-            .ok_or_else(|| err(hno + 1, "missing `# ` metadata header"))?;
         let mut name = None;
         let mut period = None;
         let mut frame_count = None;
-        for field in header.split_whitespace() {
-            let (key, value) = field
-                .split_once('=')
-                .ok_or_else(|| err(hno + 1, "metadata field without `=`"))?;
+        for (key, value) in
+            crate::trace::header_fields(Some(header), &|reason| err(hno + 1, reason))?
+        {
             match key {
                 "name" => name = Some(value.to_owned()),
                 "period_ns" => {

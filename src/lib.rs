@@ -61,20 +61,20 @@ pub mod prelude {
     //! The types almost every experiment needs.
 
     pub use qgov_bench::experiments::{
-        run_fig3, run_fig3_with, run_shared_table_ablation, run_shared_table_ablation_with,
-        run_smoothing_ablation, run_smoothing_ablation_with, run_state_levels_ablation,
-        run_state_levels_ablation_with, run_table1, run_table1_with, run_table2, run_table2_with,
-        run_table3, run_table3_with,
+        run_fig3, run_fig3_with, run_long_horizon, run_long_horizon_with,
+        run_shared_table_ablation, run_shared_table_ablation_with, run_smoothing_ablation,
+        run_smoothing_ablation_with, run_state_levels_ablation, run_state_levels_ablation_with,
+        run_table1, run_table1_with, run_table2, run_table2_with, run_table3, run_table3_with,
     };
     pub use qgov_bench::harness::{precharacterize, run_experiment, ExperimentOutcome};
     pub use qgov_bench::runner::{frames_from_env, ExperimentBatch, RunnerConfig, RunnerMode};
     pub use qgov_bench::sweep::{
-        run_fig3_sweep, run_fig3_sweep_with, run_shared_table_ablation_sweep,
-        run_shared_table_ablation_sweep_with, run_smoothing_ablation_sweep,
-        run_smoothing_ablation_sweep_with, run_state_levels_ablation_sweep,
-        run_state_levels_ablation_sweep_with, run_table1_sweep, run_table1_sweep_with,
-        run_table2_sweep, run_table2_sweep_with, run_table3_sweep, run_table3_sweep_with,
-        Aggregate, SeedSweep,
+        run_fig3_sweep, run_fig3_sweep_with, run_long_horizon_sweep, run_long_horizon_sweep_with,
+        run_shared_table_ablation_sweep, run_shared_table_ablation_sweep_with,
+        run_smoothing_ablation_sweep, run_smoothing_ablation_sweep_with,
+        run_state_levels_ablation_sweep, run_state_levels_ablation_sweep_with, run_table1_sweep,
+        run_table1_sweep_with, run_table2_sweep, run_table2_sweep_with, run_table3_sweep,
+        run_table3_sweep_with, Aggregate, SeedSweep,
     };
     pub use qgov_core::{ExplorationKind, RtmConfig, RtmGovernor, StateKind};
     pub use qgov_governors::{
@@ -84,7 +84,7 @@ pub mod prelude {
     };
     pub use qgov_metrics::{
         ComparisonTable, MetricSummary, MispredictionStats, OnlineStats, RunReport, SampleStats,
-        Series, SweepFormat, SweepTable,
+        Series, SweepFormat, SweepTable, WindowSummary, WindowedStats,
     };
     pub use qgov_rl::{DecayingEpsilon, EpdPolicy, EwmaPredictor, Predictor, QTable, SlackReward};
     pub use qgov_sim::{
@@ -94,6 +94,7 @@ pub mod prelude {
     pub use qgov_units::{Cycles, Energy, Freq, Power, SimTime, Temp, Volt};
     pub use qgov_workloads::{
         suites, Application, CompositeWorkload, FftModel, FrameDemand, PhasedBenchmarkModel,
-        SyntheticWorkload, ThreadDemand, VideoDecoderModel, WorkloadTrace,
+        ScratchDir, ShardWriter, ShardedTrace, SyntheticWorkload, ThreadDemand, TraceShard,
+        VideoDecoderModel, WorkloadTrace,
     };
 }
