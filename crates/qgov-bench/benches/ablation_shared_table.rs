@@ -8,9 +8,12 @@
 //! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
 //! default one seed, matching the recorded single-run baselines).
 
+use qgov_bench::perf::{append_records, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_shared_table_ablation_sweep_with, SeedSweep};
 use std::time::Instant;
+
+const TARGET: &str = "ablation_shared_table";
 
 fn main() {
     let frames = frames_from_env(3_000);
@@ -26,4 +29,23 @@ fn main() {
     println!("expectation: the shared-table formulations converge in fewer epochs and");
     println!("save more energy than per-core independent tables [20].");
     println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+
+    let mut records = vec![BenchRecord::scalar(
+        TARGET,
+        "wall_clock_s",
+        elapsed.as_secs_f64(),
+    )];
+    for row in &result.rows {
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("normalized_energy/{}", row.label),
+            &row.normalized_energy,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("convergence_epochs/{}", row.label),
+            &row.convergence_epochs,
+        ));
+    }
+    append_records(&records);
 }

@@ -9,9 +9,12 @@
 //! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
 //! default one seed, matching the recorded single-run baselines).
 
+use qgov_bench::perf::{append_records, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_smoothing_ablation_sweep_with, SeedSweep};
 use std::time::Instant;
+
+const TARGET: &str = "ablation_smoothing";
 
 fn main() {
     let frames = frames_from_env(3_000);
@@ -29,4 +32,23 @@ fn main() {
     println!("{}", result.table.render());
     println!("expectation: misprediction is minimised near gamma = 0.6, the paper's choice.");
     println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+
+    let mut records = vec![BenchRecord::scalar(
+        TARGET,
+        "wall_clock_s",
+        elapsed.as_secs_f64(),
+    )];
+    for row in &result.rows {
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("normalized_energy/{}", row.label),
+            &row.normalized_energy,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("miss_rate/{}", row.label),
+            &row.miss_rate,
+        ));
+    }
+    append_records(&records);
 }

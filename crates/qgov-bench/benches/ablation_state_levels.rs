@@ -11,9 +11,12 @@
 //! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
 //! default one seed, matching the recorded single-run baselines).
 
+use qgov_bench::perf::{append_records, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_state_levels_ablation_sweep_with, SeedSweep};
 use std::time::Instant;
+
+const TARGET: &str = "ablation_state_levels";
 
 fn main() {
     let frames = frames_from_env(3_000);
@@ -29,4 +32,28 @@ fn main() {
     println!("expectation: small N converges fast but controls coarsely;");
     println!("large N controls finely but explores/converges slowly — N = 5 balances.");
     println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+
+    let mut records = vec![BenchRecord::scalar(
+        TARGET,
+        "wall_clock_s",
+        elapsed.as_secs_f64(),
+    )];
+    for row in &result.rows {
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("normalized_energy/{}", row.label),
+            &row.normalized_energy,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("miss_rate/{}", row.label),
+            &row.miss_rate,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("explorations/{}", row.label),
+            &row.explorations,
+        ));
+    }
+    append_records(&records);
 }

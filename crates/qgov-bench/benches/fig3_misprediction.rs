@@ -11,9 +11,12 @@
 //! (a count or a comma-separated list; default one seed, matching the
 //! recorded single-run baselines).
 
+use qgov_bench::perf::{append_records, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_fig3_sweep_with, SeedSweep};
 use std::time::Instant;
+
+const TARGET: &str = "fig3_misprediction";
 
 fn main() {
     let frames = frames_from_env(3_000);
@@ -55,4 +58,11 @@ fn main() {
         Err(e) => println!("\ncould not write {}: {e}", out.display()),
     }
     println!("wall-clock: {elapsed:.2?} ({})", runner.describe());
+
+    append_records(&[
+        BenchRecord::scalar(TARGET, "wall_clock_s", elapsed.as_secs_f64()),
+        BenchRecord::from_summary(TARGET, "early_misprediction", &result.early_misprediction),
+        BenchRecord::from_summary(TARGET, "late_misprediction", &result.late_misprediction),
+        BenchRecord::from_summary(TARGET, "mispredicted_frames", &result.mispredicted_frames),
+    ]);
 }

@@ -12,9 +12,12 @@
 //! comma-separated list; default one seed, matching the recorded
 //! baselines in EXPERIMENTS.md).
 
+use qgov_bench::perf::{append_records, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_long_horizon_sweep_with, SeedSweep};
 use std::time::Instant;
+
+const TARGET: &str = "long_horizon";
 
 fn main() {
     let frames = frames_from_env(100_000);
@@ -42,4 +45,31 @@ fn main() {
     );
     println!("{}", first.windows_table.render());
     println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+
+    let mut records = vec![
+        BenchRecord::scalar(TARGET, "wall_clock_s", elapsed.as_secs_f64()),
+        BenchRecord::scalar(
+            TARGET,
+            "frames_per_sec",
+            frames as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        ),
+    ];
+    for row in &result.rows {
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("normalized_energy/{}", row.method),
+            &row.normalized_energy,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("miss_rate/{}", row.method),
+            &row.miss_rate,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("late_miss_rate/{}", row.method),
+            &row.late_miss_rate,
+        ));
+    }
+    append_records(&records);
 }

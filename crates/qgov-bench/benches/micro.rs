@@ -46,6 +46,34 @@ fn bench_greedy_scan(c: &mut Criterion) {
     });
 }
 
+fn bench_row_best(c: &mut Criterion) {
+    // The fused (argmax, max) kernel one decision epoch calls where the
+    // split path needed a greedy scan AND a max fold.
+    c.bench_function("qtable_row_best_19_actions", |b| {
+        let mut q = QTable::new(25, 19).unwrap();
+        for a in 0..19 {
+            q.update(3, a, a as f64 * 0.1, 3, 1.0, 0.0);
+        }
+        b.iter(|| black_box(q.row_best(black_box(3))));
+    });
+}
+
+fn bench_update_unchecked(c: &mut Criterion) {
+    // The Bellman fast path: construction-validated hyper-parameters,
+    // debug-only asserts, fused future-term scan.
+    c.bench_function("qtable_bellman_update_unchecked", |b| {
+        let mut q = QTable::new(25, 19).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let s = (i % 25) as usize;
+            let a = (i % 19) as usize;
+            q.update_unchecked(s, a, 0.5, (s + 1) % 25, 0.3, 0.5);
+            i += 1;
+            black_box(q.value(s, a))
+        });
+    });
+}
+
 fn bench_epd_selection(c: &mut Criterion) {
     c.bench_function("epd_action_selection_19_actions", |b| {
         let policy = EpdPolicy::paper();
@@ -140,24 +168,64 @@ fn bench_full_decision_epoch(c: &mut Criterion) {
     });
 }
 
+fn bench_harness_throughput(c: &mut Criterion) {
+    use qgov_bench::harness::run_experiment;
+    use qgov_core::{HistoryMode, RtmConfig, RtmGovernor};
+
+    // Whole-harness throughput: one 256-frame RTM experiment per
+    // iteration over the scratch-buffer loop. Divide the reported
+    // ns/iter by 256 for ns/frame, or invert for frames/sec — the
+    // number EXPERIMENTS.md tracks for the 100k-frame horizons.
+    const FRAMES: u64 = 256;
+    c.bench_function("harness_rtm_experiment_256_frames", |b| {
+        let config = PlatformConfig {
+            sensor: SensorConfig::ideal(),
+            ..PlatformConfig::odroid_xu3_a15()
+        };
+        let mut app = qgov_workloads::SyntheticWorkload::constant(
+            "throughput",
+            Cycles::from_mcycles(160),
+            SimTime::from_ms(40),
+            FRAMES,
+            4,
+            5,
+        );
+        b.iter(|| {
+            let mut rtm = RtmGovernor::new(
+                RtmConfig::paper(1)
+                    .with_workload_bounds(1e7, 1e9)
+                    .with_history(HistoryMode::LastN(64)),
+            )
+            .unwrap();
+            black_box(run_experiment(&mut rtm, &mut app, config.clone(), FRAMES).report)
+        });
+    });
+}
+
 fn main() {
     // QGOV_SEEDS=n -> n timed passes per benchmark (one pass, today's
-    // single-number output, when unset).
+    // single-number output, when unset). QGOV_BENCH_JSON=<path> ->
+    // every benchmark appends a {target, metric, mean, sigma, n} JSON
+    // line (the perf trajectory CI captures).
     let passes = SeedSweep::from_env(2017).n() as u64;
     if passes > 1 {
         println!("== micro: {passes} measurement passes per benchmark (QGOV_SEEDS) ==\n");
     }
     let mut criterion = Criterion::default()
         .configure_from_args()
-        .with_repeats(passes);
+        .with_repeats(passes)
+        .with_json_target("micro");
     for bench in [
         bench_q_update,
+        bench_update_unchecked,
         bench_greedy_scan,
+        bench_row_best,
         bench_epd_selection,
         bench_ewma,
         bench_discretize,
         bench_platform_frame,
         bench_full_decision_epoch,
+        bench_harness_throughput,
     ] {
         bench(&mut criterion);
     }

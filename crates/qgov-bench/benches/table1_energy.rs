@@ -9,9 +9,12 @@
 //! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
 //! default one seed, matching the recorded single-run baselines).
 
+use qgov_bench::perf::{append_records, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_table1_sweep_with, SeedSweep};
 use std::time::Instant;
+
+const TARGET: &str = "table1_energy";
 
 fn main() {
     let frames = frames_from_env(3_000);
@@ -32,4 +35,29 @@ fn main() {
     println!("  Multi-core DVFS control [20]  1.20  0.89");
     println!("  Proposed                      1.11  0.96");
     println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+
+    // QGOV_BENCH_JSON perf trajectory: one record per headline metric.
+    let mut records = vec![BenchRecord::scalar(
+        TARGET,
+        "wall_clock_s",
+        elapsed.as_secs_f64(),
+    )];
+    for row in &result.rows {
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("normalized_energy/{}", row.method),
+            &row.normalized_energy,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("normalized_performance/{}", row.method),
+            &row.normalized_performance,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("miss_rate/{}", row.method),
+            &row.miss_rate,
+        ));
+    }
+    append_records(&records);
 }

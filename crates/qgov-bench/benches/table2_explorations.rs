@@ -9,9 +9,12 @@
 //! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
 //! default one seed, matching the recorded single-run baselines).
 
+use qgov_bench::perf::{append_records, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_table2_sweep_with, SeedSweep};
 use std::time::Instant;
+
+const TARGET: &str = "table2_explorations";
 
 fn main() {
     let frames = frames_from_env(3_000);
@@ -29,4 +32,28 @@ fn main() {
     println!("  H.264 (15 fps)   149 -> 90");
     println!("  FFT (32 fps)     119 -> 74");
     println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+
+    let mut records = vec![BenchRecord::scalar(
+        TARGET,
+        "wall_clock_s",
+        elapsed.as_secs_f64(),
+    )];
+    for row in &result.rows {
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("upd_explorations/{}", row.app),
+            &row.upd_explorations,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("epd_explorations/{}", row.app),
+            &row.epd_explorations,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("epd_upd_ratio/{}", row.app),
+            &row.epd_upd_ratio,
+        ));
+    }
+    append_records(&records);
 }

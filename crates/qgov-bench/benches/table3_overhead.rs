@@ -10,9 +10,12 @@
 //! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
 //! default one seed, matching the recorded single-run baselines).
 
+use qgov_bench::perf::{append_records, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_table3_sweep_with, SeedSweep};
 use std::time::Instant;
+
+const TARGET: &str = "table3_overhead";
 
 fn main() {
     let frames = frames_from_env(3_000);
@@ -32,4 +35,23 @@ fn main() {
     println!("  Multi-core DVFS control [20]  205 decision epochs");
     println!("  Our approach                  105 decision epochs");
     println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+
+    let mut records = vec![BenchRecord::scalar(
+        TARGET,
+        "wall_clock_s",
+        elapsed.as_secs_f64(),
+    )];
+    for row in &result.rows {
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("exploration_epochs/{}", row.method),
+            &row.exploration_epochs,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("convergence_epochs/{}", row.method),
+            &row.convergence_epochs,
+        ));
+    }
+    append_records(&records);
 }

@@ -27,7 +27,7 @@
 
 use crate::harness::{precharacterize, run_experiment};
 use crate::runner::{ExperimentBatch, RunnerConfig};
-use qgov_core::{RtmConfig, RtmGovernor, StateKind};
+use qgov_core::{HistoryMode, RtmConfig, RtmGovernor, StateKind};
 use qgov_governors::{
     ConservativeGovernor, GeQiuConfig, GeQiuGovernor, OndemandGovernor, OracleGovernor,
 };
@@ -90,47 +90,65 @@ pub fn run_table1(seed: u64, frames: u64) -> Table1Result {
 /// methodology runs are independent batch cells.
 #[must_use]
 pub fn run_table1_with(seed: u64, frames: u64, runner: &RunnerConfig) -> Table1Result {
+    let prep = table1_prepare(seed, frames);
+    let mut batch = ExperimentBatch::new();
+    batch.expand_cells(TABLE1_LABELS, &[seed], &[frames], |label, seed, frames| {
+        table1_cell(label, &prep, seed, frames)
+    });
+    table1_assemble(batch.run(runner))
+}
+
+/// A pre-characterised per-seed workload: the recorded trace every
+/// methodology cell of one experiment family replays, plus its
+/// `(min, max)` total-cycle bounds.
+#[derive(Debug, Clone)]
+pub(crate) struct TracePrep {
+    pub(crate) trace: WorkloadTrace,
+    pub(crate) bounds: (f64, f64),
+}
+
+/// Table I's methodology cells, in row order.
+pub(crate) const TABLE1_LABELS: &[&str] = &["ondemand", "geqiu", "rtm", "oracle"];
+
+/// Records Table I's per-seed workload (the H.264 football sequence).
+pub(crate) fn table1_prepare(seed: u64, frames: u64) -> TracePrep {
     let mut app = VideoDecoderModel::h264_football_15fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
-    let platform_config = PlatformConfig::odroid_xu3_a15();
-    let opp_table = OppTable::odroid_xu3_a15();
+    TracePrep { trace, bounds }
+}
 
-    let mut batch = ExperimentBatch::new();
-    {
-        let (trace, config) = (trace.clone(), platform_config.clone());
-        batch.push("table1/ondemand", move || {
+/// Runs one Table I methodology cell against the prepared trace.
+pub(crate) fn table1_cell(label: &str, prep: &TracePrep, seed: u64, frames: u64) -> RunReport {
+    let config = PlatformConfig::odroid_xu3_a15();
+    let mut replay = prep.trace.clone();
+    match label {
+        "ondemand" => {
             let mut gov = OndemandGovernor::linux_default();
-            let mut replay = trace;
             run_experiment(&mut gov, &mut replay, config, frames).report
-        });
-    }
-    {
-        let (trace, config) = (trace.clone(), platform_config.clone());
-        batch.push("table1/geqiu", move || {
+        }
+        "geqiu" => {
             let mut gov = GeQiuGovernor::new(GeQiuConfig::paper(seed));
-            let mut replay = trace;
             run_experiment(&mut gov, &mut replay, config, frames).report
-        });
-    }
-    {
-        let (trace, config) = (trace.clone(), platform_config.clone());
-        batch.push("table1/rtm", move || {
+        }
+        "rtm" => {
+            let mut gov = RtmGovernor::new(
+                RtmConfig::paper(seed).with_workload_bounds(prep.bounds.0, prep.bounds.1),
+            )
+            .expect("paper config is valid");
+            run_experiment(&mut gov, &mut replay, config, frames).report
+        }
+        "oracle" => {
             let mut gov =
-                RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
-                    .expect("paper config is valid");
-            let mut replay = trace;
+                OracleGovernor::from_trace(&prep.trace, &OppTable::odroid_xu3_a15(), 0.02);
             run_experiment(&mut gov, &mut replay, config, frames).report
-        });
+        }
+        other => unreachable!("unknown Table I cell {other}"),
     }
-    {
-        let (trace, config) = (trace, platform_config);
-        batch.push("table1/oracle", move || {
-            let mut gov = OracleGovernor::from_trace(&trace, &opp_table, 0.02);
-            let mut replay = trace.clone();
-            run_experiment(&mut gov, &mut replay, config, frames).report
-        });
-    }
-    let reports = batch.run(runner);
+}
+
+/// Folds Table I's methodology reports (in [`TABLE1_LABELS`] order)
+/// into the result bundle.
+pub(crate) fn table1_assemble(reports: Vec<RunReport>) -> Table1Result {
     let oracle_report = reports.last().expect("oracle cell present").clone();
 
     let label = |name: &str| -> String {
@@ -212,49 +230,80 @@ pub fn run_table2(seed: u64, frames: u64) -> Table2Result {
 /// applications × {UPD, EPD} expand to six batch cells.
 #[must_use]
 pub fn run_table2_with(seed: u64, frames: u64, runner: &RunnerConfig) -> Table2Result {
-    let apps: Vec<(String, Box<dyn Application>)> = vec![
-        (
-            "MPEG4 (30 fps)".into(),
-            Box::new(VideoDecoderModel::mpeg4_30fps(seed)),
-        ),
-        (
-            "H.264 (15 fps)".into(),
-            Box::new(VideoDecoderModel::h264_football_15fps(seed)),
-        ),
-        ("FFT (32 fps)".into(), Box::new(FftModel::fft_32fps(seed))),
-    ];
-
+    let prep = table2_prepare(seed, frames);
     let mut batch = ExperimentBatch::new();
-    let mut labels = Vec::new();
-    for (label, mut app) in apps {
-        let (trace, bounds) = precharacterize(app.as_mut());
-        for (kind, config) in [
-            ("upd", RtmConfig::upd_baseline(seed)),
-            ("epd", RtmConfig::paper(seed)),
-        ] {
-            let trace = trace.clone();
-            batch.push(format!("table2/{label}/{kind}"), move || {
-                let mut rtm = RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1))
-                    .expect("valid config");
-                let mut replay = trace;
-                run_experiment(
-                    &mut rtm,
-                    &mut replay,
-                    PlatformConfig::odroid_xu3_a15(),
-                    frames,
-                );
-                explorations_of(&rtm)
-            });
-        }
-        labels.push(label);
-    }
-    let counts = batch.run(runner);
+    batch.expand_cells(TABLE2_LABELS, &[seed], &[frames], |label, seed, frames| {
+        table2_cell(label, &prep, seed, frames)
+    });
+    table2_assemble(batch.run(runner))
+}
 
-    let rows: Vec<Table2Row> = labels
-        .into_iter()
+/// Table II's application display names, in row order.
+const TABLE2_APPS: &[&str] = &["MPEG4 (30 fps)", "H.264 (15 fps)", "FFT (32 fps)"];
+
+/// Table II's cells: each application × {UPD, EPD}, in
+/// [`TABLE2_APPS`] order with UPD first (the paper's column order).
+pub(crate) const TABLE2_LABELS: &[&str] = &[
+    "mpeg4/upd",
+    "mpeg4/epd",
+    "h264/upd",
+    "h264/epd",
+    "fft/upd",
+    "fft/epd",
+];
+
+/// Records Table II's three per-seed application traces (frames only
+/// caps the replay, not the recording — each app keeps its own
+/// length).
+pub(crate) fn table2_prepare(seed: u64, _frames: u64) -> Vec<TracePrep> {
+    let mut apps: Vec<Box<dyn Application>> = vec![
+        Box::new(VideoDecoderModel::mpeg4_30fps(seed)),
+        Box::new(VideoDecoderModel::h264_football_15fps(seed)),
+        Box::new(FftModel::fft_32fps(seed)),
+    ];
+    apps.iter_mut()
+        .map(|app| {
+            let (trace, bounds) = precharacterize(app.as_mut());
+            TracePrep { trace, bounds }
+        })
+        .collect()
+}
+
+/// Runs one Table II cell: the RTM under the labelled exploration
+/// policy on the labelled application's trace, reporting explorations
+/// to convergence.
+pub(crate) fn table2_cell(label: &str, prep: &[TracePrep], seed: u64, frames: u64) -> u64 {
+    let index = TABLE2_LABELS
+        .iter()
+        .position(|&l| l == label)
+        .unwrap_or_else(|| unreachable!("unknown Table II cell {label}"));
+    let app_prep = &prep[index / 2];
+    let config = if index % 2 == 0 {
+        RtmConfig::upd_baseline(seed)
+    } else {
+        RtmConfig::paper(seed)
+    };
+    let mut rtm =
+        RtmGovernor::new(config.with_workload_bounds(app_prep.bounds.0, app_prep.bounds.1))
+            .expect("valid config");
+    let mut replay = app_prep.trace.clone();
+    run_experiment(
+        &mut rtm,
+        &mut replay,
+        PlatformConfig::odroid_xu3_a15(),
+        frames,
+    );
+    explorations_of(&rtm)
+}
+
+/// Folds Table II's exploration counts (in [`TABLE2_LABELS`] order)
+/// into the result bundle.
+pub(crate) fn table2_assemble(counts: Vec<u64>) -> Table2Result {
+    let rows: Vec<Table2Row> = TABLE2_APPS
+        .iter()
         .zip(counts.chunks_exact(2))
         .map(|(app, pair)| Table2Row {
-            app,
+            app: (*app).into(),
             upd_explorations: pair[0],
             epd_explorations: pair[1],
         })
@@ -311,21 +360,41 @@ pub fn run_table3(seed: u64, frames: u64) -> Table3Result {
 /// 31 ms. The shared Q-table converges roughly twice as fast.
 #[must_use]
 pub fn run_table3_with(seed: u64, frames: u64, runner: &RunnerConfig) -> Table3Result {
-    // The paper's overhead workload: ffmpeg decode at T_ref = 31 ms
-    // (~32 fps MPEG4).
+    let prep = table3_prepare(seed, frames);
+    let mut batch = ExperimentBatch::new();
+    batch.expand_cells(TABLE3_LABELS, &[seed], &[frames], |label, seed, frames| {
+        table3_cell(label, &prep, seed, frames)
+    });
+    table3_assemble(batch.run(runner))
+}
+
+/// Table III's methodology cells, in row order.
+pub(crate) const TABLE3_LABELS: &[&str] = &["geqiu", "rtm"];
+
+/// Records Table III's per-seed workload: the paper's overhead
+/// workload, an ffmpeg decode at `T_ref` = 31 ms (~32 fps MPEG4).
+pub(crate) fn table3_prepare(seed: u64, _frames: u64) -> TracePrep {
     let mut params = VideoDecoderModel::mpeg4_svga_24fps(seed).params().clone();
     params.name = "mpeg4-31ms".into();
     params.fps = 1.0 / 0.031;
     params.forced_scene_frames.clear();
     let mut app = VideoDecoderModel::new(params).expect("valid params");
     let (trace, bounds) = precharacterize(&mut app);
+    TracePrep { trace, bounds }
+}
 
-    let mut batch = ExperimentBatch::new();
-    {
-        let trace = trace.clone();
-        batch.push("table3/geqiu", move || {
+/// Runs one Table III methodology cell, reporting
+/// `(exploration_epochs, converged_at)`.
+pub(crate) fn table3_cell(
+    label: &str,
+    prep: &TracePrep,
+    seed: u64,
+    frames: u64,
+) -> (u64, Option<u64>) {
+    let mut replay = prep.trace.clone();
+    match label {
+        "geqiu" => {
             let mut geqiu = GeQiuGovernor::new(GeQiuConfig::paper(seed));
-            let mut replay = trace;
             run_experiment(
                 &mut geqiu,
                 &mut replay,
@@ -333,15 +402,12 @@ pub fn run_table3_with(seed: u64, frames: u64, runner: &RunnerConfig) -> Table3R
                 frames,
             );
             (geqiu.exploration_phase_epochs(), geqiu.converged_at())
-        });
-    }
-    {
-        let trace = trace.clone();
-        batch.push("table3/rtm", move || {
-            let mut rtm =
-                RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
-                    .expect("valid config");
-            let mut replay = trace;
+        }
+        "rtm" => {
+            let mut rtm = RtmGovernor::new(
+                RtmConfig::paper(seed).with_workload_bounds(prep.bounds.0, prep.bounds.1),
+            )
+            .expect("valid config");
             run_experiment(
                 &mut rtm,
                 &mut replay,
@@ -349,10 +415,14 @@ pub fn run_table3_with(seed: u64, frames: u64, runner: &RunnerConfig) -> Table3R
                 frames,
             );
             (rtm.exploration_phase_epochs(), rtm.converged_at())
-        });
+        }
+        other => unreachable!("unknown Table III cell {other}"),
     }
-    let results = batch.run(runner);
+}
 
+/// Folds Table III's per-methodology `(epochs, convergence)` pairs (in
+/// [`TABLE3_LABELS`] order) into the result bundle.
+pub(crate) fn table3_assemble(results: Vec<(u64, Option<u64>)>) -> Table3Result {
     let rows: Vec<Table3Row> = ["Multi-core DVFS control [20]", "Our approach"]
         .iter()
         .zip(&results)
@@ -416,27 +486,51 @@ pub fn run_fig3(seed: u64, frames: u64) -> Fig3Result {
 /// misprediction burst.
 #[must_use]
 pub fn run_fig3_with(seed: u64, frames: u64, runner: &RunnerConfig) -> Fig3Result {
+    let prep = fig3_prepare(seed, frames);
+    let mut batch = ExperimentBatch::new();
+    batch.expand_cells(FIG3_LABELS, &[seed], &[frames], |label, seed, frames| {
+        fig3_cell(label, &prep, seed, frames)
+    });
+    fig3_assemble(batch.run(runner))
+}
+
+/// Fig. 3's single cell.
+pub(crate) const FIG3_LABELS: &[&str] = &["rtm"];
+
+/// Records Fig. 3's per-seed workload (MPEG4 SVGA at 24 fps with the
+/// scripted scene change).
+pub(crate) fn fig3_prepare(seed: u64, frames: u64) -> TracePrep {
     let mut app = VideoDecoderModel::mpeg4_svga_24fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
+    TracePrep { trace, bounds }
+}
 
-    let mut batch = ExperimentBatch::new();
-    {
-        let trace = trace.clone();
-        batch.push("fig3/rtm", move || {
-            let mut rtm =
-                RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
-                    .expect("valid config");
-            let mut replay = trace;
-            run_experiment(
-                &mut rtm,
-                &mut replay,
-                PlatformConfig::odroid_xu3_a15(),
-                frames,
-            );
-            rtm.history().to_vec()
-        });
-    }
-    let history = batch.run(runner).pop().expect("one cell");
+/// Runs Fig. 3's RTM cell, returning the full epoch history (the
+/// telemetry the series are built from — this cell needs
+/// [`HistoryMode::Full`], the config default).
+pub(crate) fn fig3_cell(
+    label: &str,
+    prep: &TracePrep,
+    seed: u64,
+    frames: u64,
+) -> Vec<qgov_core::EpochRecord> {
+    assert_eq!(label, "rtm", "unknown Fig. 3 cell {label}");
+    let mut rtm =
+        RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(prep.bounds.0, prep.bounds.1))
+            .expect("valid config");
+    let mut replay = prep.trace.clone();
+    run_experiment(
+        &mut rtm,
+        &mut replay,
+        PlatformConfig::odroid_xu3_a15(),
+        frames,
+    );
+    rtm.history().to_vec()
+}
+
+/// Folds Fig. 3's epoch history into the series bundle.
+pub(crate) fn fig3_assemble(cells: Vec<Vec<qgov_core::EpochRecord>>) -> Fig3Result {
+    let history = cells.into_iter().next().expect("one cell");
 
     // Epoch 0 has no prediction yet; start the series at epoch 1.
     let predicted: Vec<f64> = history[1..]
@@ -592,29 +686,52 @@ pub fn run_state_levels_ablation_with(
     frames: u64,
     runner: &RunnerConfig,
 ) -> AblationResult {
+    let prep = levels_ablation_prepare(seed, frames);
+    let mut batch = ExperimentBatch::new();
+    batch.expand_cells(LEVELS_LABELS, &[seed], &[frames], |label, seed, frames| {
+        levels_ablation_cell(label, &prep, seed, frames)
+    });
+    levels_ablation_assemble(batch.run(runner))
+}
+
+const LEVELS: [usize; 5] = [3, 4, 5, 7, 9];
+
+/// The state-levels ablation's cells: the Oracle reference plus one
+/// per N.
+pub(crate) const LEVELS_LABELS: &[&str] = &["oracle", "n=3", "n=4", "n=5", "n=7", "n=9"];
+
+/// Records the state-levels ablation's per-seed workload.
+pub(crate) fn levels_ablation_prepare(seed: u64, frames: u64) -> TracePrep {
     let mut app = VideoDecoderModel::h264_football_15fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
+    TracePrep { trace, bounds }
+}
 
-    const LEVELS: [usize; 5] = [3, 4, 5, 7, 9];
-    let mut batch = ExperimentBatch::new();
-    {
-        let trace = trace.clone();
-        batch.push("ablation-levels/oracle", move || {
-            (oracle_reference(&trace, frames), None, 0)
-        });
+/// Runs one state-levels cell (the Oracle or one N configuration).
+pub(crate) fn levels_ablation_cell(
+    label: &str,
+    prep: &TracePrep,
+    seed: u64,
+    frames: u64,
+) -> AblationCell {
+    if label == "oracle" {
+        return (oracle_reference(&prep.trace, frames), None, 0);
     }
-    for n in LEVELS {
-        let trace = trace.clone();
-        batch.push(format!("ablation-levels/n={n}"), move || {
-            let mut config = RtmConfig::paper(seed);
-            config.workload_levels = n;
-            config.slack_levels = n;
-            run_rtm_vs_oracle(config, &trace, bounds, frames)
-        });
-    }
-    let mut cells = batch.run(runner);
+    let index = LEVELS_LABELS
+        .iter()
+        .position(|&l| l == label)
+        .unwrap_or_else(|| unreachable!("unknown state-levels cell {label}"));
+    let n = LEVELS[index - 1];
+    let mut config = RtmConfig::paper(seed);
+    config.workload_levels = n;
+    config.slack_levels = n;
+    run_rtm_vs_oracle(config, &prep.trace, prep.bounds, frames)
+}
+
+/// Folds the state-levels cells (in [`LEVELS_LABELS`] order, Oracle
+/// first) into the ablation bundle.
+pub(crate) fn levels_ablation_assemble(mut cells: Vec<AblationCell>) -> AblationResult {
     let (oracle, _, _) = cells.remove(0);
-
     let rows: Vec<AblationRow> = LEVELS
         .iter()
         .zip(&cells)
@@ -642,47 +759,78 @@ pub fn run_smoothing_ablation_with(
     frames: u64,
     runner: &RunnerConfig,
 ) -> AblationResult {
+    let prep = smoothing_ablation_prepare(seed, frames);
+    let mut batch = ExperimentBatch::new();
+    batch.expand_cells(GAMMA_LABELS, &[seed], &[frames], |label, seed, frames| {
+        smoothing_ablation_cell(label, &prep, seed, frames)
+    });
+    smoothing_ablation_assemble(batch.run(runner))
+}
+
+const GAMMAS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 0.95];
+
+/// The smoothing ablation's cells: the Oracle reference plus one per
+/// γ.
+pub(crate) const GAMMA_LABELS: &[&str] = &[
+    "oracle",
+    "gamma=0.2",
+    "gamma=0.4",
+    "gamma=0.6",
+    "gamma=0.8",
+    "gamma=0.95",
+];
+
+/// Records the smoothing ablation's per-seed workload.
+pub(crate) fn smoothing_ablation_prepare(seed: u64, frames: u64) -> TracePrep {
     let mut app = VideoDecoderModel::mpeg4_svga_24fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
+    TracePrep { trace, bounds }
+}
 
-    const GAMMAS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 0.95];
-    let mut batch = ExperimentBatch::new();
-    {
-        let trace = trace.clone();
-        batch.push("ablation-gamma/oracle", move || {
-            ((oracle_reference(&trace, frames), None, 0), 0.0)
-        });
+/// Runs one smoothing cell; γ cells also report their mean relative
+/// misprediction (needs [`HistoryMode::Full`], the config default).
+pub(crate) fn smoothing_ablation_cell(
+    label: &str,
+    prep: &TracePrep,
+    seed: u64,
+    frames: u64,
+) -> (AblationCell, f64) {
+    if label == "oracle" {
+        return ((oracle_reference(&prep.trace, frames), None, 0), 0.0);
     }
-    for gamma in GAMMAS {
-        let trace = trace.clone();
-        batch.push(format!("ablation-gamma/gamma={gamma}"), move || {
-            let mut config = RtmConfig::paper(seed);
-            config.smoothing = gamma;
-            let mut rtm = RtmGovernor::new(config.with_workload_bounds(bounds.0, bounds.1))
-                .expect("valid config");
-            let mut replay = trace;
-            let report = run_experiment(
-                &mut rtm,
-                &mut replay,
-                PlatformConfig::odroid_xu3_a15(),
-                frames,
-            )
-            .report;
-            // Misprediction over the whole run (epoch 0 has none).
-            let history = rtm.history();
-            let predicted: Vec<f64> = history[1..]
-                .iter()
-                .map(|r| r.predicted_total_cycles)
-                .collect();
-            let actual: Vec<f64> = history[1..].iter().map(|r| r.actual_total_cycles).collect();
-            let stats = MispredictionStats::from_series(&predicted, &actual);
-            let cell = (report, rtm.converged_at(), explorations_of(&rtm));
-            (cell, stats.mean_relative_error())
-        });
-    }
-    let mut cells = batch.run(runner);
+    let index = GAMMA_LABELS
+        .iter()
+        .position(|&l| l == label)
+        .unwrap_or_else(|| unreachable!("unknown smoothing cell {label}"));
+    let gamma = GAMMAS[index - 1];
+    let mut config = RtmConfig::paper(seed);
+    config.smoothing = gamma;
+    let mut rtm = RtmGovernor::new(config.with_workload_bounds(prep.bounds.0, prep.bounds.1))
+        .expect("valid config");
+    let mut replay = prep.trace.clone();
+    let report = run_experiment(
+        &mut rtm,
+        &mut replay,
+        PlatformConfig::odroid_xu3_a15(),
+        frames,
+    )
+    .report;
+    // Misprediction over the whole run (epoch 0 has none).
+    let history = rtm.history();
+    let predicted: Vec<f64> = history[1..]
+        .iter()
+        .map(|r| r.predicted_total_cycles)
+        .collect();
+    let actual: Vec<f64> = history[1..].iter().map(|r| r.actual_total_cycles).collect();
+    let stats = MispredictionStats::from_series(&predicted, &actual);
+    let cell = (report, rtm.converged_at(), explorations_of(&rtm));
+    (cell, stats.mean_relative_error())
+}
+
+/// Folds the smoothing cells (in [`GAMMA_LABELS`] order, Oracle first)
+/// into the ablation bundle.
+pub(crate) fn smoothing_ablation_assemble(mut cells: Vec<(AblationCell, f64)>) -> AblationResult {
     let ((oracle, _, _), _) = cells.remove(0);
-
     let rows: Vec<AblationRow> = GAMMAS
         .iter()
         .zip(&cells)
@@ -718,35 +866,42 @@ pub fn run_shared_table_ablation_with(
     frames: u64,
     runner: &RunnerConfig,
 ) -> AblationResult {
+    let prep = shared_ablation_prepare(seed, frames);
+    let mut batch = ExperimentBatch::new();
+    batch.expand_cells(SHARED_LABELS, &[seed], &[frames], |label, seed, frames| {
+        shared_ablation_cell(label, &prep, seed, frames)
+    });
+    shared_ablation_assemble(batch.run(runner))
+}
+
+/// The shared-table ablation's cells, Oracle first.
+pub(crate) const SHARED_LABELS: &[&str] = &["oracle", "cluster", "per-core-share", "geqiu"];
+
+/// Records the shared-table ablation's per-seed workload.
+pub(crate) fn shared_ablation_prepare(seed: u64, frames: u64) -> TracePrep {
     let mut app = VideoDecoderModel::h264_football_15fps(seed).with_frames(frames);
     let (trace, bounds) = precharacterize(&mut app);
+    TracePrep { trace, bounds }
+}
 
-    let mut batch = ExperimentBatch::new();
-    {
-        let trace = trace.clone();
-        batch.push("ablation-shared/oracle", move || {
-            (oracle_reference(&trace, frames), None, 0)
-        });
-    }
-    {
-        let trace = trace.clone();
-        batch.push("ablation-shared/cluster", move || {
-            run_rtm_vs_oracle(RtmConfig::paper(seed), &trace, bounds, frames)
-        });
-    }
-    {
-        let trace = trace.clone();
-        batch.push("ablation-shared/per-core-share", move || {
+/// Runs one shared-table formulation cell.
+pub(crate) fn shared_ablation_cell(
+    label: &str,
+    prep: &TracePrep,
+    seed: u64,
+    frames: u64,
+) -> AblationCell {
+    match label {
+        "oracle" => (oracle_reference(&prep.trace, frames), None, 0),
+        "cluster" => run_rtm_vs_oracle(RtmConfig::paper(seed), &prep.trace, prep.bounds, frames),
+        "per-core-share" => {
             let mut config = RtmConfig::paper(seed);
             config.state_kind = StateKind::PerCoreShare;
-            run_rtm_vs_oracle(config, &trace, bounds, frames)
-        });
-    }
-    {
-        let trace = trace.clone();
-        batch.push("ablation-shared/geqiu", move || {
+            run_rtm_vs_oracle(config, &prep.trace, prep.bounds, frames)
+        }
+        "geqiu" => {
             let mut gov = GeQiuGovernor::new(GeQiuConfig::paper(seed));
-            let mut replay = trace;
+            let mut replay = prep.trace.clone();
             let report = run_experiment(
                 &mut gov,
                 &mut replay,
@@ -755,11 +910,15 @@ pub fn run_shared_table_ablation_with(
             )
             .report;
             (report, gov.converged_at(), gov.exploration_count())
-        });
+        }
+        other => unreachable!("unknown shared-table cell {other}"),
     }
-    let mut cells = batch.run(runner);
-    let (oracle, _, _) = cells.remove(0);
+}
 
+/// Folds the shared-table cells (in [`SHARED_LABELS`] order, Oracle
+/// first) into the ablation bundle.
+pub(crate) fn shared_ablation_assemble(mut cells: Vec<AblationCell>) -> AblationResult {
+    let (oracle, _, _) = cells.remove(0);
     let labels = [
         "Shared Q-table, cluster state",
         "Shared Q-table, round-robin per-core (Eq. 7)",
@@ -866,9 +1025,47 @@ pub fn run_long_horizon(seed: u64, frames: u64) -> LongHorizonResult {
 /// experiment without disk is meaningless.
 #[must_use]
 pub fn run_long_horizon_with(seed: u64, frames: u64, runner: &RunnerConfig) -> LongHorizonResult {
+    let prep = long_horizon_prepare(seed, frames);
+    let mut batch = ExperimentBatch::new();
+    batch.expand_cells(
+        LONG_HORIZON_LABELS,
+        &[seed],
+        &[frames],
+        |label, seed, frames| long_horizon_cell(label, &prep, seed, frames),
+    );
+    let reports = batch.run(runner);
+    long_horizon_assemble(&prep, frames, reports)
+}
+
+/// The long-horizon comparison's methodology cells, in row order.
+pub(crate) const LONG_HORIZON_LABELS: &[&str] = &["ondemand", "conservative", "rtm"];
+
+/// How many recent [`qgov_core::EpochRecord`]s the long-horizon RTM
+/// retains: nothing reads its history, so the run keeps only a
+/// bounded diagnostic tail instead of growing O(frames) memory — the
+/// [`HistoryMode::LastN`] path CI's 20k-frame smoke exercises.
+pub(crate) const LONG_HORIZON_HISTORY: usize = 1024;
+
+/// The long-horizon experiment's per-seed preparation: the workload
+/// recorded once into CSV shards on a private scratch directory, which
+/// lives as long as this value (dropping it removes the directory).
+#[derive(Debug)]
+pub(crate) struct LongHorizonPrep {
+    /// Keeps the scratch directory alive for the replaying cells; the
+    /// field is the RAII guard itself, never read.
+    _dir: ScratchDir,
+    trace: ShardedTrace,
+    bounds: (f64, f64),
+    shard_frames: usize,
+    shard_count: usize,
+}
+
+/// Records the long-horizon workload (the H.264 football model looped
+/// to `frames` frames) into scratch shards for streamed replay.
+pub(crate) fn long_horizon_prepare(seed: u64, frames: u64) -> LongHorizonPrep {
     let shard_frames = long_horizon_shard_frames(frames);
-    // A scratch recording unique to this cell (results never depend on
-    // the directory name), removed when the experiment returns.
+    // A scratch recording unique to this preparation (results never
+    // depend on the directory name), removed when the prep drops.
     let dir = ScratchDir::unique(&format!("qgov-long-horizon-{seed}-{frames}"));
 
     let mut app = VideoDecoderModel::h264_football_15fps(seed).with_frames(frames);
@@ -876,36 +1073,56 @@ pub fn run_long_horizon_with(seed: u64, frames: u64, runner: &RunnerConfig) -> L
         .expect("long-horizon scratch recording must be writable");
     let bounds = trace.workload_bounds();
     let shard_count = trace.shard_count();
-    let platform_config = PlatformConfig::odroid_xu3_a15();
+    LongHorizonPrep {
+        _dir: dir,
+        trace,
+        bounds,
+        shard_frames,
+        shard_count,
+    }
+}
 
-    let mut batch = ExperimentBatch::new();
-    {
-        let (trace, config) = (trace.clone(), platform_config.clone());
-        batch.push("long-horizon/ondemand", move || {
+/// Runs one long-horizon methodology cell on its own streamed replay
+/// clone.
+pub(crate) fn long_horizon_cell(
+    label: &str,
+    prep: &LongHorizonPrep,
+    seed: u64,
+    frames: u64,
+) -> RunReport {
+    let config = PlatformConfig::odroid_xu3_a15();
+    let mut replay = prep.trace.clone();
+    match label {
+        "ondemand" => {
             let mut gov = OndemandGovernor::linux_default();
-            let mut replay = trace;
             run_experiment(&mut gov, &mut replay, config, frames).report
-        });
-    }
-    {
-        let (trace, config) = (trace.clone(), platform_config.clone());
-        batch.push("long-horizon/conservative", move || {
+        }
+        "conservative" => {
             let mut gov = ConservativeGovernor::linux_default();
-            let mut replay = trace;
             run_experiment(&mut gov, &mut replay, config, frames).report
-        });
-    }
-    {
-        let (trace, config) = (trace, platform_config);
-        batch.push("long-horizon/rtm", move || {
-            let mut gov =
-                RtmGovernor::new(RtmConfig::paper(seed).with_workload_bounds(bounds.0, bounds.1))
-                    .expect("paper config is valid");
-            let mut replay = trace;
+        }
+        "rtm" => {
+            let mut gov = RtmGovernor::new(
+                RtmConfig::paper(seed)
+                    .with_workload_bounds(prep.bounds.0, prep.bounds.1)
+                    .with_history(HistoryMode::LastN(LONG_HORIZON_HISTORY)),
+            )
+            .expect("paper config is valid");
             run_experiment(&mut gov, &mut replay, config, frames).report
-        });
+        }
+        other => unreachable!("unknown long-horizon cell {other}"),
     }
-    let reports = batch.run(runner);
+}
+
+/// Folds the long-horizon methodology reports (in
+/// [`LONG_HORIZON_LABELS`] order) into the result bundle.
+pub(crate) fn long_horizon_assemble(
+    prep: &LongHorizonPrep,
+    frames: u64,
+    reports: Vec<RunReport>,
+) -> LongHorizonResult {
+    let shard_frames = prep.shard_frames;
+    let shard_count = prep.shard_count;
     let baseline = reports.first().expect("ondemand cell present").clone();
 
     let labels = [

@@ -29,7 +29,7 @@
 
 use qgov_governors::{EpochObservation, Governor, GovernorContext, VfDecision};
 use qgov_metrics::RunReport;
-use qgov_sim::{Platform, PlatformConfig, SimError, VfDomain, WorkSlice};
+use qgov_sim::{FrameResult, Platform, PlatformConfig, SimError, VfDomain, WorkSlice};
 use qgov_workloads::{Application, FrameDemand, WorkloadTrace};
 
 /// Everything a finished run yields: the metrics report plus the
@@ -65,9 +65,12 @@ fn apply_decision(platform: &mut Platform, decision: &VfDecision) -> Result<(), 
 
 /// Maps a frame's per-thread demands onto per-core work slices (thread
 /// `i` runs on core `i`; surplus threads fold onto the last core, idle
-/// cores receive nothing).
-fn to_work_slices(demand: &qgov_workloads::FrameDemand, cores: usize) -> Vec<WorkSlice> {
-    let mut work = vec![WorkSlice::IDLE; cores];
+/// cores receive nothing). In-place form: `work` must already be sized
+/// to the core count; its previous contents are overwritten — this is
+/// the scratch buffer the frame loop reuses every epoch.
+fn to_work_slices_into(demand: &FrameDemand, work: &mut [WorkSlice]) {
+    work.fill(WorkSlice::IDLE);
+    let cores = work.len();
     for (i, t) in demand.threads.iter().enumerate() {
         let core = i.min(cores - 1);
         work[core] = WorkSlice::new(
@@ -75,6 +78,13 @@ fn to_work_slices(demand: &qgov_workloads::FrameDemand, cores: usize) -> Vec<Wor
             work[core].mem_time + t.mem_time,
         );
     }
+}
+
+/// Allocating convenience wrapper over [`to_work_slices_into`].
+#[cfg(test)]
+fn to_work_slices(demand: &FrameDemand, cores: usize) -> Vec<WorkSlice> {
+    let mut work = vec![WorkSlice::IDLE; cores];
+    to_work_slices_into(demand, &mut work);
     work
 }
 
@@ -119,11 +129,22 @@ pub fn run_experiment(
 
     let total = frames.min(app.frames());
     let mut report = RunReport::new(governor.name(), app.name(), period);
+    report.reserve_frames(usize::try_from(total).unwrap_or(usize::MAX));
+
+    // The steady-state loop runs allocation-free: one demand slot, one
+    // work-slice scratch buffer and one frame-result slot are reused
+    // across every epoch (`next_frame_into` / `run_frame_into` refill
+    // them in place), and the report pre-reserved its frame stats
+    // above. `tests/alloc_steady_state.rs` pins this with a counting
+    // global allocator.
+    let mut demand = FrameDemand::default();
+    let mut work = vec![WorkSlice::IDLE; cores];
+    let mut frame = FrameResult::empty();
     for epoch in 0..total {
-        let demand = app.next_frame();
-        let work = to_work_slices(&demand, cores);
-        let frame = platform
-            .run_frame(&work, period)
+        app.next_frame_into(&mut demand);
+        to_work_slices_into(&demand, &mut work);
+        platform
+            .run_frame_into(&work, period, &mut frame)
             .expect("work vector sized to cores");
         report.record_frame(
             frame.frame_time,

@@ -72,9 +72,11 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 pub mod runner;
 pub mod sweep;
 
 pub use harness::{run_experiment, ExperimentOutcome};
+pub use perf::BenchRecord;
 pub use runner::{ExperimentBatch, RunnerConfig, RunnerMode};
 pub use sweep::{Aggregate, SeedSweep};

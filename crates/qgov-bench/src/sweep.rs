@@ -10,11 +10,13 @@
 //! * [`SeedSweep`] — the seed set, from an explicit list, a
 //!   `base × n` range, or the `QGOV_SEEDS` environment variable
 //!   (default: one seed, preserving the single-run baselines);
-//! * [`Aggregate`] — a generic fan-out of one experiment closure
-//!   across the sweep through
-//!   [`ExperimentBatch::expand_cells`], with
-//!   [`MetricSummary`] folds over any
-//!   per-result metric;
+//! * [`Aggregate`] — a generic fan-out across the sweep through
+//!   [`ExperimentBatch::expand_cells`], with [`MetricSummary`] folds
+//!   over any per-result metric. [`Aggregate::collect`] runs one
+//!   opaque closure per seed; [`Aggregate::collect_grid`] flattens the
+//!   full seed × methodology cross product into **one** job queue, so
+//!   big hosts get full-width parallelism (what the `run_*_sweep`
+//!   functions use);
 //! * `run_*_sweep` — one sweep variant per experiment function of
 //!   [`crate::experiments`], returning per-metric mean / σ / min /
 //!   max / 95 % CI rows and a rendered
@@ -44,10 +46,7 @@
 //! ```
 
 use crate::experiments::{
-    run_fig3_with, run_long_horizon_with, run_shared_table_ablation_with,
-    run_smoothing_ablation_with, run_state_levels_ablation_with, run_table1_with, run_table2_with,
-    run_table3_with, AblationResult, Fig3Result, LongHorizonResult, Table1Result, Table2Result,
-    Table3Result,
+    self, AblationResult, Fig3Result, LongHorizonResult, Table1Result, Table2Result, Table3Result,
 };
 use crate::runner::{ExperimentBatch, RunnerConfig};
 use qgov_metrics::{MetricSummary, SweepFormat, SweepTable};
@@ -269,6 +268,100 @@ impl<T: Send> Aggregate<T> {
     }
 }
 
+impl<T: Send> Aggregate<T> {
+    /// Fans a whole experiment *grid* — every `label` × every sweep
+    /// seed — through **one** flattened [`ExperimentBatch`] job queue,
+    /// then reassembles per-seed result bundles.
+    ///
+    /// This is the full-width parallel path the per-experiment sweeps
+    /// use (ROADMAP PR-3 follow-on): where [`Aggregate::collect`] runs
+    /// one opaque cell per seed (capping parallelism at the seed
+    /// count, each seed's inner methodology grid serial inside it),
+    /// `collect_grid` expands both axes through
+    /// [`ExperimentBatch::expand_cells`], so a sweep of `s` seeds over
+    /// an experiment with `m` methodology cells keeps up to `s × m`
+    /// workers busy. Three phases:
+    ///
+    /// 1. `prepare(seed, frames)` once per **unique** seed (trace
+    ///    recording), itself batched under `runner`;
+    /// 2. `cell(label, &prep, seed, frames)` for the full label × seed
+    ///    cross product in one queue;
+    /// 3. `assemble(seed, &prep, cells)` per seed, with that seed's
+    ///    cells in label order.
+    ///
+    /// Every cell still derives from `(label, seed)` and its own
+    /// deterministic preparation, so the flattened queue inherits the
+    /// runner's bit-identity guarantee: results equal the nested
+    /// per-seed layout on any worker count
+    /// (`tests/sweep_determinism.rs` pins both).
+    pub fn collect_grid<P, C, Prep, Cell, Asm>(
+        labels: &[&str],
+        sweep: &SeedSweep,
+        frames: u64,
+        runner: &RunnerConfig,
+        prepare: Prep,
+        cell: Cell,
+        assemble: Asm,
+    ) -> Self
+    where
+        P: Send + Sync,
+        C: Send,
+        Prep: Fn(u64, u64) -> P + Send + Sync,
+        Cell: Fn(&str, &P, u64, u64) -> C + Send + Sync,
+        Asm: Fn(u64, &P, Vec<C>) -> T,
+    {
+        // Phase 1: per-seed preparation, deduplicated (duplicate sweep
+        // seeds share one deterministic preparation).
+        let mut unique: Vec<u64> = Vec::new();
+        for &seed in sweep.seeds() {
+            if !unique.contains(&seed) {
+                unique.push(seed);
+            }
+        }
+        let mut prep_batch = ExperimentBatch::new();
+        for &seed in &unique {
+            let prepare = &prepare;
+            prep_batch.push(format!("prepare/seed={seed}"), move || {
+                prepare(seed, frames)
+            });
+        }
+        let preps = prep_batch.run(runner);
+        let prep_of = |seed: u64| -> &P {
+            &preps[unique
+                .iter()
+                .position(|&s| s == seed)
+                .expect("every sweep seed was prepared")]
+        };
+
+        // Phase 2: ONE flattened queue across both axes.
+        let mut batch = ExperimentBatch::new();
+        batch.expand_cells(labels, sweep.seeds(), &[frames], |label, seed, frames| {
+            cell(label, prep_of(seed), seed, frames)
+        });
+        let results = batch.run(runner);
+
+        // Phase 3: regroup the label-major results (`expand_cells`
+        // iterates labels outermost) into per-seed bundles, each in
+        // label order, and assemble.
+        let n = sweep.n();
+        let mut cells_by_seed: Vec<Vec<C>> =
+            (0..n).map(|_| Vec::with_capacity(labels.len())).collect();
+        for (i, c) in results.into_iter().enumerate() {
+            cells_by_seed[i % n].push(c);
+        }
+        let results: Vec<T> = sweep
+            .seeds()
+            .iter()
+            .zip(cells_by_seed)
+            .map(|(&seed, cells)| assemble(seed, prep_of(seed), cells))
+            .collect();
+        Aggregate {
+            seeds: sweep.seeds().to_vec(),
+            results,
+        }
+    }
+}
+
 impl<T> Aggregate<T> {
     /// The sweep's seeds, in sweep order.
     #[must_use]
@@ -317,23 +410,6 @@ impl<T> Aggregate<T> {
     }
 }
 
-/// The execution policy for the per-seed cells *inside* a sweep: with
-/// one seed the outer fan-out is a single cell, so the inner experiment
-/// keeps the caller's policy (today's single-run behaviour); with many
-/// seeds the sweep parallelises across seeds and each cell runs its
-/// own experiment serially, avoiding nested thread pools. Either way
-/// results are bit-identical (the runner guarantee). The trade-off:
-/// a multi-seed sweep's parallelism is capped at the seed count — on
-/// hosts with more cores than seeds, flattening the seed × methodology
-/// axes into one queue would use them (ROADMAP follow-on).
-fn cell_runner(sweep: &SeedSweep, runner: &RunnerConfig) -> RunnerConfig {
-    if sweep.n() == 1 {
-        runner.clone()
-    } else {
-        RunnerConfig::serial()
-    }
-}
-
 /// One methodology's cross-seed aggregates in the Table I sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table1SweepRow {
@@ -372,14 +448,20 @@ pub fn run_table1_sweep(sweep: &SeedSweep, frames: u64) -> Table1Sweep {
 }
 
 /// **Table I** across a seed sweep under an explicit [`RunnerConfig`]:
-/// one cell per seed (each replaying its own seed's trace through all
-/// four methodologies), folded into per-methodology aggregates.
+/// the full seed × methodology grid runs as **one** flattened job
+/// queue ([`Aggregate::collect_grid`]), folded into per-methodology
+/// aggregates.
 #[must_use]
 pub fn run_table1_sweep_with(sweep: &SeedSweep, frames: u64, runner: &RunnerConfig) -> Table1Sweep {
-    let inner = cell_runner(sweep, runner);
-    let agg = Aggregate::collect("table1", sweep, frames, runner, move |seed, frames| {
-        run_table1_with(seed, frames, &inner)
-    });
+    let agg = Aggregate::collect_grid(
+        experiments::TABLE1_LABELS,
+        sweep,
+        frames,
+        runner,
+        experiments::table1_prepare,
+        experiments::table1_cell,
+        |_seed, _prep, cells| experiments::table1_assemble(cells),
+    );
 
     let methods: Vec<String> = agg.results()[0]
         .rows
@@ -470,13 +552,19 @@ pub fn run_table2_sweep(sweep: &SeedSweep, frames: u64) -> Table2Sweep {
 
 /// **Table II** across a seed sweep under an explicit
 /// [`RunnerConfig`]: per-application UPD/EPD exploration counts and
-/// their pairwise ratio, aggregated over the seeds.
+/// their pairwise ratio, aggregated over the seeds; the seed ×
+/// (application × policy) grid runs as one flattened job queue.
 #[must_use]
 pub fn run_table2_sweep_with(sweep: &SeedSweep, frames: u64, runner: &RunnerConfig) -> Table2Sweep {
-    let inner = cell_runner(sweep, runner);
-    let agg = Aggregate::collect("table2", sweep, frames, runner, move |seed, frames| {
-        run_table2_with(seed, frames, &inner)
-    });
+    let agg = Aggregate::collect_grid(
+        experiments::TABLE2_LABELS,
+        sweep,
+        frames,
+        runner,
+        experiments::table2_prepare,
+        |label, prep, seed, frames| experiments::table2_cell(label, prep, seed, frames),
+        |_seed, _prep, cells| experiments::table2_assemble(cells),
+    );
 
     let apps: Vec<String> = agg.results()[0]
         .rows
@@ -562,13 +650,19 @@ pub fn run_table3_sweep(sweep: &SeedSweep, frames: u64) -> Table3Sweep {
 }
 
 /// **Table III** across a seed sweep under an explicit
-/// [`RunnerConfig`].
+/// [`RunnerConfig`]; the seed × methodology grid runs as one flattened
+/// job queue.
 #[must_use]
 pub fn run_table3_sweep_with(sweep: &SeedSweep, frames: u64, runner: &RunnerConfig) -> Table3Sweep {
-    let inner = cell_runner(sweep, runner);
-    let agg = Aggregate::collect("table3", sweep, frames, runner, move |seed, frames| {
-        run_table3_with(seed, frames, &inner)
-    });
+    let agg = Aggregate::collect_grid(
+        experiments::TABLE3_LABELS,
+        sweep,
+        frames,
+        runner,
+        experiments::table3_prepare,
+        experiments::table3_cell,
+        |_seed, _prep, cells| experiments::table3_assemble(cells),
+    );
 
     let methods: Vec<String> = agg.results()[0]
         .rows
@@ -640,10 +734,15 @@ pub fn run_fig3_sweep(sweep: &SeedSweep, frames: u64) -> Fig3Sweep {
 /// statistics.
 #[must_use]
 pub fn run_fig3_sweep_with(sweep: &SeedSweep, frames: u64, runner: &RunnerConfig) -> Fig3Sweep {
-    let inner = cell_runner(sweep, runner);
-    let agg = Aggregate::collect("fig3", sweep, frames, runner, move |seed, frames| {
-        run_fig3_with(seed, frames, &inner)
-    });
+    let agg = Aggregate::collect_grid(
+        experiments::FIG3_LABELS,
+        sweep,
+        frames,
+        runner,
+        experiments::fig3_prepare,
+        experiments::fig3_cell,
+        |_seed, _prep, cells| experiments::fig3_assemble(cells),
+    );
 
     let early = agg.summarize(|r| r.early_misprediction);
     let late = agg.summarize(|r| r.late_misprediction);
@@ -708,9 +807,9 @@ pub fn run_long_horizon_sweep(sweep: &SeedSweep, frames: u64) -> LongHorizonSwee
 }
 
 /// **Long horizon** across a seed sweep under an explicit
-/// [`RunnerConfig`]: one cell per seed, each recording its own
-/// streamed trace to a private scratch directory and replaying it
-/// through all three methodologies; whole-run metrics plus the
+/// [`RunnerConfig`]: each seed records its own streamed trace to a
+/// private scratch directory once, then the seed × methodology replay
+/// grid runs as one flattened job queue; whole-run metrics plus the
 /// early/late convergence-window miss rates are folded into
 /// per-methodology aggregates.
 #[must_use]
@@ -719,13 +818,14 @@ pub fn run_long_horizon_sweep_with(
     frames: u64,
     runner: &RunnerConfig,
 ) -> LongHorizonSweep {
-    let inner = cell_runner(sweep, runner);
-    let agg = Aggregate::collect(
-        "long-horizon",
+    let agg = Aggregate::collect_grid(
+        experiments::LONG_HORIZON_LABELS,
         sweep,
         frames,
         runner,
-        move |seed, frames| run_long_horizon_with(seed, frames, &inner),
+        experiments::long_horizon_prepare,
+        experiments::long_horizon_cell,
+        |_seed, prep, reports| experiments::long_horizon_assemble(prep, frames, reports),
     );
 
     let methods: Vec<String> = agg.results()[0]
@@ -816,23 +916,31 @@ pub struct AblationSweep {
     pub per_seed: Vec<AblationResult>,
 }
 
-/// Shared fold for the three ablation sweeps: `normalize_label` maps a
+/// Shared fold for the three ablation sweeps: the family's cell
+/// providers run through one flattened seed × configuration queue
+/// ([`Aggregate::collect_grid`]), and `normalize_label` maps a
 /// single-run row label to its seed-independent form.
-fn ablation_sweep_with<F>(
-    name: &str,
+#[allow(clippy::too_many_arguments)]
+fn ablation_sweep_with<P, C, Prep, Cell, Asm>(
     label_header: &str,
+    labels: &[&str],
     sweep: &SeedSweep,
     frames: u64,
     runner: &RunnerConfig,
     normalize_label: fn(&str) -> String,
-    run_one: F,
+    prepare: Prep,
+    cell: Cell,
+    assemble: Asm,
 ) -> AblationSweep
 where
-    F: Fn(u64, u64, &RunnerConfig) -> AblationResult + Send + Sync,
+    P: Send + Sync,
+    C: Send,
+    Prep: Fn(u64, u64) -> P + Send + Sync,
+    Cell: Fn(&str, &P, u64, u64) -> C + Send + Sync,
+    Asm: Fn(Vec<C>) -> AblationResult,
 {
-    let inner = cell_runner(sweep, runner);
-    let agg = Aggregate::collect(name, sweep, frames, runner, move |seed, frames| {
-        run_one(seed, frames, &inner)
+    let agg = Aggregate::collect_grid(labels, sweep, frames, runner, prepare, cell, |_, _, c| {
+        assemble(c)
     });
 
     // Per-seed label annotations (the smoothing ablation's
@@ -932,13 +1040,15 @@ pub fn run_state_levels_ablation_sweep_with(
     runner: &RunnerConfig,
 ) -> AblationSweep {
     ablation_sweep_with(
-        "ablation-levels",
         "State levels",
+        experiments::LEVELS_LABELS,
         sweep,
         frames,
         runner,
         identity_label,
-        run_state_levels_ablation_with,
+        experiments::levels_ablation_prepare,
+        experiments::levels_ablation_cell,
+        experiments::levels_ablation_assemble,
     )
 }
 
@@ -960,13 +1070,15 @@ pub fn run_smoothing_ablation_sweep_with(
     runner: &RunnerConfig,
 ) -> AblationSweep {
     ablation_sweep_with(
-        "ablation-gamma",
         "EWMA smoothing",
+        experiments::GAMMA_LABELS,
         sweep,
         frames,
         runner,
         strip_misprediction,
-        run_smoothing_ablation_with,
+        experiments::smoothing_ablation_prepare,
+        experiments::smoothing_ablation_cell,
+        experiments::smoothing_ablation_assemble,
     )
 }
 
@@ -986,13 +1098,15 @@ pub fn run_shared_table_ablation_sweep_with(
     runner: &RunnerConfig,
 ) -> AblationSweep {
     ablation_sweep_with(
-        "ablation-shared",
         "Formulation",
+        experiments::SHARED_LABELS,
         sweep,
         frames,
         runner,
         identity_label,
-        run_shared_table_ablation_with,
+        experiments::shared_ablation_prepare,
+        experiments::shared_ablation_cell,
+        experiments::shared_ablation_assemble,
     )
 }
 

@@ -24,6 +24,43 @@ pub enum ExplorationKind {
     },
 }
 
+/// How much per-epoch telemetry ([`EpochRecord`](crate::EpochRecord))
+/// the RTM retains.
+///
+/// The paper's analyses (Fig. 3 series, the smoothing ablation's
+/// misprediction statistics) read the **full** history, but a 100k+
+/// frame long-horizon run must not grow O(frames) memory just to keep
+/// telemetry nobody reads. The mode never influences decisions — only
+/// what [`RtmGovernor::history`](crate::RtmGovernor::history) can
+/// return afterwards — so experiment reports are bit-identical across
+/// modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryMode {
+    /// Keep every epoch's record (the default; O(frames) memory).
+    Full,
+    /// Keep (at least) the most recent `N` records in a bounded buffer
+    /// (at most `2N` resident; amortised O(1), allocation-free after
+    /// warm-up). The long-horizon experiments use this.
+    LastN(usize),
+    /// Record nothing.
+    Off,
+}
+
+impl HistoryMode {
+    /// Validates the mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::EmptyDimension`] for `LastN(0)` (use
+    /// [`HistoryMode::Off`] to disable history).
+    pub fn validate(&self) -> Result<(), RlError> {
+        if let HistoryMode::LastN(n) = self {
+            RlError::check_nonempty("history LastN window", *n)?;
+        }
+        Ok(())
+    }
+}
+
 /// How the workload dimension of the Q-table state is formed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StateKind {
@@ -80,6 +117,9 @@ pub struct RtmConfig {
     /// Model for the RTM's own per-epoch compute cost (part of
     /// `T_OVH`).
     pub overhead: OverheadModel,
+    /// How much per-epoch telemetry to retain (never affects
+    /// decisions).
+    pub history: HistoryMode,
     /// RNG seed for exploration sampling.
     pub seed: u64,
 }
@@ -113,6 +153,7 @@ impl RtmConfig {
             calibration_frames: 16,
             state_kind: StateKind::TotalWorkload,
             overhead: OverheadModel::typical(),
+            history: HistoryMode::Full,
             seed,
         }
     }
@@ -135,6 +176,13 @@ impl RtmConfig {
     #[must_use]
     pub fn with_workload_bounds(mut self, min: f64, max: f64) -> Self {
         self.workload_bounds = Some((min, max));
+        self
+    }
+
+    /// Sets the telemetry retention mode (see [`HistoryMode`]).
+    #[must_use]
+    pub fn with_history(mut self, history: HistoryMode) -> Self {
+        self.history = history;
         self
     }
 
@@ -180,6 +228,7 @@ impl RtmConfig {
         if let Some(w) = self.slack_window {
             RlError::check_nonempty("slack_window", w)?;
         }
+        self.history.validate()?;
         Ok(())
     }
 }
@@ -242,6 +291,21 @@ mod tests {
         let mut c = RtmConfig::paper(0);
         c.slack_window = Some(0);
         assert!(c.validate().is_err());
+
+        let mut c = RtmConfig::paper(0);
+        c.history = HistoryMode::LastN(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn history_mode_defaults_to_full_and_builder_overrides() {
+        let c = RtmConfig::paper(0);
+        assert_eq!(c.history, HistoryMode::Full);
+        let c = c.with_history(HistoryMode::LastN(64));
+        assert_eq!(c.history, HistoryMode::LastN(64));
+        assert!(c.validate().is_ok());
+        assert!(HistoryMode::Off.validate().is_ok());
+        assert!(HistoryMode::LastN(0).validate().is_err());
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod overhead;
 mod rtm;
 mod state;
 
-pub use config::{ExplorationKind, RtmConfig, StateKind};
+pub use config::{ExplorationKind, HistoryMode, RtmConfig, StateKind};
 pub use overhead::OverheadModel;
 pub use rtm::{EpochRecord, RtmGovernor};
 pub use state::StateMapper;

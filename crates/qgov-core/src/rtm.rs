@@ -1,6 +1,6 @@
 //! The run-time manager.
 
-use crate::{ExplorationKind, RtmConfig, StateKind, StateMapper};
+use crate::{ExplorationKind, HistoryMode, RtmConfig, StateKind, StateMapper};
 use qgov_governors::{EpochObservation, Governor, GovernorContext, SlackTracker, VfDecision};
 use qgov_rl::{
     ActionSpace, AgentConfig, EpdPolicy, EwmaPredictor, ExplorationPolicy, Predictor,
@@ -11,7 +11,7 @@ use qgov_units::{Freq, SimTime};
 
 /// One decision epoch's telemetry, recorded by the RTM for analysis
 /// (drives the Fig. 3 misprediction/slack series).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochRecord {
     /// Zero-based epoch index.
     pub epoch: u64,
@@ -48,6 +48,56 @@ impl EpochRecord {
     }
 }
 
+/// Bounded per-epoch telemetry storage behind
+/// [`RtmGovernor::history`], parameterised by [`HistoryMode`].
+///
+/// `LastN(n)` is a *compacting* ring: records append into a buffer of
+/// fixed capacity `2n`; when it fills, the older half is discarded by
+/// one `memmove` (amortised O(1) per push, allocation-free after the
+/// buffer's one-time reservation) so the retained tail is always a
+/// plain chronological slice — which is what lets `history()` keep its
+/// `&[EpochRecord]` return type across modes.
+#[derive(Debug)]
+struct EpochHistory {
+    mode: HistoryMode,
+    records: Vec<EpochRecord>,
+}
+
+impl EpochHistory {
+    fn new(mode: HistoryMode) -> Self {
+        let records = match mode {
+            HistoryMode::LastN(n) => Vec::with_capacity(2 * n),
+            HistoryMode::Full | HistoryMode::Off => Vec::new(),
+        };
+        EpochHistory { mode, records }
+    }
+
+    fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    fn push(&mut self, record: EpochRecord) {
+        match self.mode {
+            HistoryMode::Off => {}
+            HistoryMode::Full => self.records.push(record),
+            HistoryMode::LastN(n) => {
+                if self.records.len() == 2 * n {
+                    self.records.copy_within(n.., 0);
+                    self.records.truncate(n);
+                }
+                self.records.push(record);
+            }
+        }
+    }
+
+    fn as_slice(&self) -> &[EpochRecord] {
+        match self.mode {
+            HistoryMode::Full | HistoryMode::Off => &self.records,
+            HistoryMode::LastN(n) => &self.records[self.records.len().saturating_sub(n)..],
+        }
+    }
+}
+
 /// The paper's Q-learning run-time manager, usable as a drop-in
 /// [`Governor`].
 ///
@@ -67,7 +117,11 @@ pub struct RtmGovernor {
     rr_core: usize,
     last_prediction_total: f64,
     last_frame_slack: f64,
-    history: Vec<EpochRecord>,
+    history: EpochHistory,
+    /// Scratch buffers reused every epoch so the steady-state decide
+    /// path performs no heap allocation (sized to `cores` at `init`).
+    scratch_actual: Vec<f64>,
+    scratch_predicted: Vec<f64>,
 }
 
 impl RtmGovernor {
@@ -82,6 +136,7 @@ impl RtmGovernor {
             Some(w) => SlackTracker::windowed(w),
             None => SlackTracker::cumulative(),
         };
+        let history = EpochHistory::new(config.history);
         Ok(RtmGovernor {
             config,
             cores: 0,
@@ -95,7 +150,9 @@ impl RtmGovernor {
             rr_core: 0,
             last_prediction_total: 0.0,
             last_frame_slack: 0.0,
-            history: Vec::new(),
+            history,
+            scratch_actual: Vec::new(),
+            scratch_predicted: Vec::new(),
         })
     }
 
@@ -191,10 +248,22 @@ impl RtmGovernor {
         self.slack.average()
     }
 
-    /// Per-epoch telemetry recorded so far.
+    /// Per-epoch telemetry retained so far, in chronological order.
+    ///
+    /// What this covers depends on the configured [`HistoryMode`]:
+    /// every epoch under [`HistoryMode::Full`] (the default), at least
+    /// the most recent `N` epochs under [`HistoryMode::LastN`], and
+    /// nothing under [`HistoryMode::Off`]. The mode never influences
+    /// decisions, only retention.
     #[must_use]
     pub fn history(&self) -> &[EpochRecord] {
-        &self.history
+        self.history.as_slice()
+    }
+
+    /// The configured telemetry retention mode.
+    #[must_use]
+    pub fn history_mode(&self) -> HistoryMode {
+        self.config.history
     }
 
     /// The state mapper, once pre-characterisation has completed.
@@ -251,6 +320,12 @@ impl Governor for RtmGovernor {
         self.rr_core = 0;
         self.last_prediction_total = 0.0;
         self.last_frame_slack = 0.0;
+        // One-time sizing of the per-epoch scratch buffers: after this,
+        // the steady-state decide path never touches the heap.
+        self.scratch_actual.clear();
+        self.scratch_actual.reserve(self.cores);
+        self.scratch_predicted.clear();
+        self.scratch_predicted.resize(self.cores, 0.0);
 
         // Conservative start: the highest point, as a fresh governor
         // knows nothing about the workload yet.
@@ -273,20 +348,21 @@ impl Governor for RtmGovernor {
             .reward(frame_slack, self.last_frame_slack);
         self.last_frame_slack = frame_slack;
 
-        // Workload observation and EWMA prediction (Eq. 1).
-        let actual_per_core: Vec<f64> = obs
-            .frame
-            .per_core_cycles
-            .iter()
-            .map(|c| c.count() as f64)
-            .collect();
-        let actual_total: f64 = actual_per_core.iter().sum();
+        // Workload observation and EWMA prediction (Eq. 1), folded
+        // through the reusable scratch buffers (sized at `init`) so the
+        // steady-state epoch performs no heap allocation.
+        self.scratch_actual.clear();
+        self.scratch_actual
+            .extend(obs.frame.per_core_cycles.iter().map(|c| c.count() as f64));
+        let actual_total: f64 = self.scratch_actual.iter().sum();
         let predicted_for_this_frame = self.last_prediction_total;
-        for (p, &a) in self.predictors.iter_mut().zip(&actual_per_core) {
+        for (p, &a) in self.predictors.iter_mut().zip(&self.scratch_actual) {
             p.observe(a);
         }
-        let predicted_per_core: Vec<f64> = self.predictors.iter().map(Predictor::predict).collect();
-        let predicted_total: f64 = predicted_per_core.iter().sum();
+        for (slot, p) in self.scratch_predicted.iter_mut().zip(&self.predictors) {
+            *slot = p.predict();
+        }
+        let predicted_total: f64 = self.scratch_predicted.iter().sum();
         self.last_prediction_total = predicted_total;
 
         // --- Pre-characterisation (until the state mapper exists). ---
@@ -303,7 +379,7 @@ impl Governor for RtmGovernor {
                     .expect("calibration samples are finite and non-empty"),
                 );
             } else {
-                let action = self.calibration_action(&predicted_per_core);
+                let action = self.calibration_action(&self.scratch_predicted);
                 self.history.push(EpochRecord {
                     epoch: obs.epoch,
                     predicted_total_cycles: predicted_for_this_frame,
@@ -324,8 +400,12 @@ impl Governor for RtmGovernor {
         let state = match self.config.state_kind {
             StateKind::TotalWorkload => mapper.state_for_total(predicted_total, l),
             StateKind::PerCoreShare => {
-                let shares = StateMapper::normalize_shares(&predicted_per_core);
-                let s = mapper.state_for_share(shares[self.rr_core], l);
+                // Only the round-robin core's share is needed, so the
+                // Eq. 7 normalisation runs scalar (bit-identical to
+                // indexing `normalize_shares`) instead of materialising
+                // the share vector every epoch.
+                let share = StateMapper::share_of(&self.scratch_predicted, self.rr_core);
+                let s = mapper.state_for_share(share, l);
                 self.rr_core = (self.rr_core + 1) % self.cores;
                 s
             }
@@ -587,6 +667,60 @@ mod tests {
         let t = rtm.processing_overhead();
         assert!(t >= SimTime::from_us(10));
         assert!(t <= SimTime::from_us(200), "got {t}");
+    }
+
+    #[test]
+    fn history_mode_bounds_memory_without_changing_decisions() {
+        let run = |history: HistoryMode| {
+            let mut app = SyntheticWorkload::constant(
+                "steady",
+                Cycles::from_mcycles(120),
+                SimTime::from_ms(40),
+                300,
+                4,
+                2,
+            )
+            .with_noise(0.1);
+            let config = RtmConfig::paper(11).with_history(history);
+            let rtm = RtmGovernor::new(config).unwrap();
+            drive(rtm, &mut app, 300, 50)
+        };
+
+        let (full, met_full, _) = run(HistoryMode::Full);
+        let (ring, met_ring, _) = run(HistoryMode::LastN(64));
+        let (off, met_off, _) = run(HistoryMode::Off);
+
+        // Telemetry retention never influences decisions.
+        assert_eq!(met_full, met_ring);
+        assert_eq!(met_full, met_off);
+        assert_eq!(full.exploration_count(), ring.exploration_count());
+        assert_eq!(full.exploration_count(), off.exploration_count());
+
+        // Retention semantics: Full keeps everything, LastN the recent
+        // tail (chronological, identical to Full's tail), Off nothing.
+        assert_eq!(full.history().len(), 300);
+        assert_eq!(ring.history().len(), 64);
+        assert!(off.history().is_empty());
+        assert_eq!(ring.history(), &full.history()[300 - 64..]);
+        assert_eq!(ring.history_mode(), HistoryMode::LastN(64));
+    }
+
+    #[test]
+    fn last_n_ring_is_chronological_below_capacity() {
+        let mut app = SyntheticWorkload::constant(
+            "steady",
+            Cycles::from_mcycles(120),
+            SimTime::from_ms(40),
+            40,
+            4,
+            2,
+        );
+        let config = RtmConfig::paper(1).with_history(HistoryMode::LastN(64));
+        let rtm = RtmGovernor::new(config).unwrap();
+        let (rtm, _, _) = drive(rtm, &mut app, 40, 0);
+        assert_eq!(rtm.history().len(), 40);
+        let epochs: Vec<u64> = rtm.history().iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, (0..40).collect::<Vec<_>>());
     }
 
     #[test]

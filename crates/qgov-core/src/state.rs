@@ -129,6 +129,22 @@ impl StateMapper {
         }
         predictions.iter().map(|&p| p / total).collect()
     }
+
+    /// One core's Eq. 7 share, computed scalar — bit-identical to
+    /// `normalize_shares(predictions)[core]` without materialising the
+    /// share vector (the RTM's allocation-free per-epoch path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range of a non-empty `predictions`.
+    #[must_use]
+    pub fn share_of(predictions: &[f64], core: usize) -> f64 {
+        let total: f64 = predictions.iter().sum();
+        if total <= 0.0 {
+            return 1.0 / predictions.len().max(1) as f64;
+        }
+        predictions[core] / total
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +205,25 @@ mod tests {
     fn zero_total_gives_equal_shares() {
         let shares = StateMapper::normalize_shares(&[0.0, 0.0, 0.0, 0.0]);
         assert_eq!(shares, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn share_of_is_bit_identical_to_indexed_normalize_shares() {
+        for preds in [
+            vec![10.0, 30.0, 40.0, 20.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![1.0e17, 3.0, 0.5, 7.7],
+            vec![5.0],
+        ] {
+            let shares = StateMapper::normalize_shares(&preds);
+            for (core, share) in shares.iter().enumerate() {
+                assert_eq!(
+                    StateMapper::share_of(&preds, core).to_bits(),
+                    share.to_bits(),
+                    "core {core} of {preds:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl SlackTracker {
         assert!(window > 0, "slack window must be non-zero");
         SlackTracker {
             window: Some(window),
-            history: VecDeque::with_capacity(window),
+            // `observe` pushes before it pops, so the deque transiently
+            // holds window + 1 entries; reserving that up front keeps
+            // the steady-state path allocation-free.
+            history: VecDeque::with_capacity(window + 1),
             sum: 0.0,
             count: 0,
             average: 0.0,

@@ -81,6 +81,14 @@ impl RunReport {
         }
     }
 
+    /// Pre-reserves capacity for `frames` further
+    /// [`record_frame`](RunReport::record_frame) calls, so a run of
+    /// known length records every frame without reallocating (the
+    /// harness's zero-allocation steady-state loop).
+    pub fn reserve_frames(&mut self, frames: usize) {
+        self.frames.reserve(frames);
+    }
+
     /// Records one frame's outcome.
     pub fn record_frame(
         &mut self,

@@ -233,10 +233,14 @@ impl QLearningAgent {
     /// Panics if `state` is out of range or `reward`/`slack` are not
     /// finite.
     pub fn begin_epoch(&mut self, state: usize, reward: f64, slack: f64) -> usize {
+        assert!(reward.is_finite(), "reward must be finite, got {reward}");
         // (1) + (2): pay-off and Bellman update for the previous pair.
+        // `alpha`/`discount` were validated at construction, so the
+        // unchecked fast path applies (one fused row traversal for the
+        // future term instead of two index-checked passes).
         if let Some((prev_state, prev_action)) = self.last {
-            let greedy_before = self.q.greedy_action(prev_state);
-            self.q.update(
+            let (greedy_before, _) = self.q.row_best(prev_state);
+            self.q.update_unchecked(
                 prev_state,
                 prev_action,
                 reward,
@@ -244,7 +248,7 @@ impl QLearningAgent {
                 self.alpha,
                 self.discount,
             );
-            let changed = self.q.greedy_action(prev_state) != greedy_before;
+            let changed = self.q.row_best(prev_state).0 != greedy_before;
             // A quiet greedy policy during the exploration phase is not
             // convergence — early on, updates have not yet differentiated
             // the actions, so the greedy choice sits still for trivial
@@ -258,8 +262,10 @@ impl QLearningAgent {
             }
         }
 
-        // (3): action selection for the coming interval.
-        let greedy = self.q.greedy_action(state);
+        // (3): action selection for the coming interval — the fused
+        // argmax scan (re-run after the update above, whose target row
+        // may alias `state`).
+        let (greedy, _) = self.q.row_best(state);
         let explore = crate::uniform_f64(&mut self.rng) < self.epsilon.value();
         let action = if explore {
             let ctx = ActionContext::new(self.q.row(state), self.actions.freqs_ghz(), slack);

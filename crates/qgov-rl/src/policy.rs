@@ -188,20 +188,49 @@ impl EpdPolicy {
 }
 
 impl ExplorationPolicy for EpdPolicy {
+    /// Allocation-free selection: the Eq. 2 weights are recomputed on
+    /// the fly in two passes (sum, then walk) instead of being
+    /// materialised into a vector. The per-weight expression, the
+    /// summation order and the walk order are identical to
+    /// [`EpdPolicy::weights`] + [`sample_weighted`], so the selection
+    /// is bit-for-bit the same while the steady-state decision epoch
+    /// stays heap-free.
     fn select(&self, ctx: &ActionContext<'_>, rng: &mut dyn RngCore) -> usize {
-        let weights = self.weights(ctx.action_freqs_ghz, ctx.slack);
-        // Guard against exp() overflow (inf) and underflow (all zero) for
-        // extreme |slack|: fall back to the deterministic limit behaviour
-        // and pick the extreme action the bias points at.
-        let total: f64 = weights.iter().sum();
-        if weights.iter().any(|w| !w.is_finite()) || total <= 0.0 {
+        let weight_at = |f: f64| self.lambda * (-self.beta * f * ctx.slack).exp();
+        // Pass 1: total + finiteness. Guard against exp() overflow
+        // (inf) and underflow (all zero) for extreme |slack|: fall back
+        // to the deterministic limit behaviour and pick the extreme
+        // action the bias points at.
+        let mut any_non_finite = false;
+        let mut total = 0.0f64;
+        for &f in ctx.action_freqs_ghz {
+            let w = weight_at(f);
+            any_non_finite |= !w.is_finite();
+            total += w;
+        }
+        if any_non_finite || total <= 0.0 {
             return if ctx.slack > 0.0 {
                 lowest_freq_action(ctx.action_freqs_ghz)
             } else {
                 highest_freq_action(ctx.action_freqs_ghz)
             };
         }
-        sample_weighted(&weights, rng)
+        if !total.is_finite() {
+            // Finite weights whose sum overflows: `sample_weighted`'s
+            // degenerate-total fallback, preserved bit-for-bit.
+            return (rng.next_u64() % ctx.actions() as u64) as usize;
+        }
+        // Pass 2: the `sample_weighted` walk over the regenerated
+        // weights.
+        let mut target = uniform_f64(rng) * total;
+        for (i, &f) in ctx.action_freqs_ghz.iter().enumerate() {
+            let w = weight_at(f);
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        ctx.actions() - 1 // float round-off: last index
     }
 
     fn name(&self) -> &'static str {
@@ -408,6 +437,27 @@ mod tests {
         assert_eq!(policy.select(&over, &mut rng), 0);
         let under = ActionContext::new(&q, &f, -1e6);
         assert_eq!(policy.select(&under, &mut rng), 2);
+    }
+
+    #[test]
+    fn epd_on_the_fly_select_matches_materialised_weights() {
+        // The allocation-free two-pass select must be bit-identical to
+        // sampling the materialised `weights()` vector under the same
+        // RNG stream.
+        let policy = EpdPolicy::paper();
+        let q = [0.0; 19];
+        let freqs: Vec<f64> = (2..21).map(|i| f64::from(i) / 10.0).collect();
+        for slack in [-0.9, -0.3, 0.0, 0.2, 0.7] {
+            let ctx = ActionContext::new(&q, &freqs, slack);
+            let mut rng_a = StdRng::seed_from_u64(99);
+            let mut rng_b = StdRng::seed_from_u64(99);
+            for _ in 0..500 {
+                let fused = policy.select(&ctx, &mut rng_a);
+                let weights = policy.weights(&freqs, slack);
+                let reference = sample_weighted(&weights, &mut rng_b);
+                assert_eq!(fused, reference, "slack {slack}");
+            }
+        }
     }
 
     #[test]

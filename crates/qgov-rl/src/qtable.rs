@@ -148,6 +148,25 @@ impl QTable {
         state * self.actions + action
     }
 
+    /// Hot-path index: range errors are programming errors on the
+    /// steady-state path, so the formatted asserts of [`QTable::idx`]
+    /// are debug-only here; release builds still bounds-check at the
+    /// slice access itself.
+    #[inline]
+    fn idx_fast(&self, state: usize, action: usize) -> usize {
+        debug_assert!(
+            state < self.states,
+            "state {state} out of range (states = {})",
+            self.states
+        );
+        debug_assert!(
+            action < self.actions,
+            "action {action} out of range (actions = {})",
+            self.actions
+        );
+        state * self.actions + action
+    }
+
     /// The Q-value of a state–action pair.
     ///
     /// # Panics
@@ -193,16 +212,24 @@ impl QTable {
             .count()
     }
 
-    /// The greedy (highest-value) action for a state. Ties break towards
-    /// the lowest action index, which for a frequency-ordered action space
-    /// means the lowest (most energy-frugal) frequency.
+    /// The fused greedy-scan kernel: one pass over a state's row
+    /// returning both the argmax action and its value — the
+    /// `(greedy_action, max_value)` pair every decision epoch needs
+    /// (selection wants the argmax, the Bellman update the max).
+    /// Ties break towards the lowest action index, which for a
+    /// frequency-ordered action space means the lowest (most
+    /// energy-frugal) frequency.
     ///
     /// # Panics
     ///
-    /// Panics if `state` is out of range.
+    /// Panics if `state` is out of range (a debug-formatted message in
+    /// debug builds, the plain slice bounds check in release builds —
+    /// this is the hot path).
+    #[inline]
     #[must_use]
-    pub fn greedy_action(&self, state: usize) -> usize {
-        let row = self.row(state);
+    pub fn row_best(&self, state: usize) -> (usize, f64) {
+        let start = self.idx_fast(state, 0);
+        let row = &self.values[start..start + self.actions];
         let mut best = 0;
         let mut best_v = row[0];
         for (a, &v) in row.iter().enumerate().skip(1) {
@@ -211,18 +238,35 @@ impl QTable {
                 best_v = v;
             }
         }
-        best
+        (best, best_v)
+    }
+
+    /// The greedy (highest-value) action for a state. Ties break towards
+    /// the lowest action index, which for a frequency-ordered action space
+    /// means the lowest (most energy-frugal) frequency. A single row
+    /// scan via [`QTable::row_best`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn greedy_action(&self, state: usize) -> usize {
+        self.row_best(state).0
     }
 
     /// The maximum Q-value over all actions of a state — the
-    /// `max_a Q(sᵢ₊₁, a)` term of Eq. 3.
+    /// `max_a Q(sᵢ₊₁, a)` term of Eq. 3. A single row scan via
+    /// [`QTable::row_best`] (whose fold starts from the first entry, so
+    /// the identity element is correct for rows of any value range —
+    /// including rows more negative than the old `f64::MIN` fold seed
+    /// could have handled).
     ///
     /// # Panics
     ///
     /// Panics if `state` is out of range.
     #[must_use]
     pub fn max_value(&self, state: usize) -> f64 {
-        self.row(state).iter().copied().fold(f64::MIN, f64::max)
+        self.row_best(state).1
     }
 
     /// Applies the Bellman update of Eq. 3 to `(state, action)` given the
@@ -254,8 +298,50 @@ impl QTable {
             "discount factor must lie in [0, 1], got {discount}"
         );
         assert!(reward.is_finite(), "reward must be finite, got {reward}");
-        let future = self.max_value(next_state);
-        let i = self.idx(state, action);
+        // Re-assert the indices eagerly (the fast path defers them to
+        // the slice bounds checks) so the checked API keeps its
+        // descriptive panic messages.
+        let _ = self.idx(state, action);
+        let _ = self.idx(next_state, 0);
+        self.update_unchecked(state, action, reward, next_state, alpha, discount);
+    }
+
+    /// The Bellman update without the per-call range/finiteness asserts
+    /// of [`QTable::update`] — the steady-state fast path for callers
+    /// that validated `alpha`/`discount`/`reward` at construction time
+    /// (e.g. [`AgentConfig::validate`](crate::AgentConfig::validate)).
+    ///
+    /// One fused row traversal ([`QTable::row_best`]) computes the
+    /// future term, replacing the two index-checked passes of the
+    /// original kernel. Numerically bit-identical to
+    /// [`QTable::update`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices (formatted messages in debug
+    /// builds, plain slice bounds checks in release). Invalid
+    /// `alpha`/`discount`/`reward` are debug-only assertions here.
+    #[inline]
+    pub fn update_unchecked(
+        &mut self,
+        state: usize,
+        action: usize,
+        reward: f64,
+        next_state: usize,
+        alpha: f64,
+        discount: f64,
+    ) {
+        debug_assert!(
+            (0.0..=1.0).contains(&alpha),
+            "learning rate alpha must lie in [0, 1], got {alpha}"
+        );
+        debug_assert!(
+            (0.0..=1.0).contains(&discount),
+            "discount factor must lie in [0, 1], got {discount}"
+        );
+        debug_assert!(reward.is_finite(), "reward must be finite, got {reward}");
+        let (_, future) = self.row_best(next_state);
+        let i = self.idx_fast(state, action);
         self.values[i] = (1.0 - alpha) * self.values[i] + alpha * (reward + discount * future);
         self.visits[i] += 1;
         self.updates += 1;
@@ -274,7 +360,24 @@ impl QTable {
     /// policy.
     #[must_use]
     pub fn policy(&self) -> Vec<usize> {
-        (0..self.states).map(|s| self.greedy_action(s)).collect()
+        let mut out = Vec::new();
+        self.policy_into(&mut out);
+        out
+    }
+
+    /// Writes the greedy action for every state into `out`
+    /// (allocation-free when `out` already has capacity for
+    /// [`states`](QTable::states) entries): one fused [`row_best`]
+    /// scan per row over the flat value buffer instead of a
+    /// twice-indexed pass per state.
+    ///
+    /// [`row_best`]: QTable::row_best
+    pub fn policy_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(self.states);
+        for s in 0..self.states {
+            out.push(self.row_best(s).0);
+        }
     }
 }
 
@@ -387,5 +490,74 @@ mod tests {
     fn bad_alpha_panics() {
         let mut q = QTable::new(1, 1).unwrap();
         q.update(0, 0, 0.0, 0, 1.5, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_next_state_panics() {
+        let mut q = QTable::new(2, 2).unwrap();
+        q.update(0, 0, 0.0, 5, 0.5, 0.9);
+    }
+
+    #[test]
+    fn row_best_fuses_argmax_and_max() {
+        let mut q = QTable::new(2, 4).unwrap();
+        q.update(1, 2, 7.0, 0, 1.0, 0.0);
+        q.update(1, 0, 3.0, 0, 1.0, 0.0);
+        assert_eq!(q.row_best(1), (2, 7.0));
+        assert_eq!(q.row_best(0), (0, 0.0));
+        // Agreement with the two split kernels by construction.
+        assert_eq!(q.row_best(1).0, q.greedy_action(1));
+        assert_eq!(q.row_best(1).1, q.max_value(1));
+    }
+
+    #[test]
+    fn row_best_ties_break_low() {
+        let q = QTable::with_init(1, 5, 3.25).unwrap();
+        assert_eq!(q.row_best(0), (0, 3.25));
+    }
+
+    #[test]
+    fn max_value_is_correct_for_all_negative_rows() {
+        // The old fold seeded from f64::MIN, whose identity is wrong
+        // for rows at or below it; the fused kernel folds from the
+        // first entry, so arbitrarily negative rows report their true
+        // maximum.
+        let q = QTable::with_init(1, 3, -1.0e300).unwrap();
+        assert_eq!(q.max_value(0), -1.0e300);
+        assert_eq!(q.greedy_action(0), 0);
+        let mut q = QTable::with_init(1, 3, f64::MIN).unwrap();
+        assert_eq!(q.max_value(0), f64::MIN);
+        q.values[1] = f64::MIN / 2.0;
+        assert_eq!(q.max_value(0), f64::MIN / 2.0);
+        assert_eq!(q.greedy_action(0), 1);
+    }
+
+    #[test]
+    fn update_unchecked_matches_checked_update_bit_for_bit() {
+        let mut checked = QTable::new(3, 4).unwrap();
+        let mut fast = QTable::new(3, 4).unwrap();
+        for i in 0..200u64 {
+            let s = (i % 3) as usize;
+            let a = (i % 4) as usize;
+            let next = ((i + 1) % 3) as usize;
+            let r = (i as f64).sin() * 5.0;
+            checked.update(s, a, r, next, 0.3, 0.5);
+            fast.update_unchecked(s, a, r, next, 0.3, 0.5);
+        }
+        assert_eq!(checked, fast);
+    }
+
+    #[test]
+    fn policy_into_reuses_the_buffer() {
+        let mut q = QTable::new(3, 3).unwrap();
+        q.update(1, 2, 5.0, 0, 1.0, 0.0);
+        let mut out = Vec::with_capacity(3);
+        q.policy_into(&mut out);
+        assert_eq!(out, vec![0, 2, 0]);
+        q.update(0, 1, 5.0, 0, 1.0, 0.0);
+        q.policy_into(&mut out);
+        assert_eq!(out, vec![1, 2, 0]);
+        assert_eq!(out, q.policy());
     }
 }

@@ -10,7 +10,59 @@ use qgov_rl::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// The naive two-pass reference the fused `row_best` kernel replaced:
+/// an independent greedy argmax scan (strict `>`, ties to the lowest
+/// index) plus an independent max fold.
+fn naive_two_pass(row: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    for (a, &v) in row.iter().enumerate().skip(1) {
+        if v > row[best] {
+            best = a;
+        }
+    }
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (best, max)
+}
+
 proptest! {
+    /// The fused single-scan `row_best` kernel agrees with the naive
+    /// two-pass reference on arbitrary finite rows — argmax and max
+    /// bit-for-bit, ties still breaking towards the lowest action.
+    #[test]
+    fn row_best_matches_naive_two_pass_reference(
+        row in proptest::collection::vec(-1e12f64..1e12, 1..40),
+    ) {
+        let mut q = QTable::new(1, row.len()).unwrap();
+        for (a, &v) in row.iter().enumerate() {
+            // Terminal-style write: alpha = 1, discount = 0 sets the
+            // cell to exactly `v`.
+            q.update(0, a, v, 0, 1.0, 0.0);
+        }
+        let (action, value) = q.row_best(0);
+        let (ref_action, ref_value) = naive_two_pass(q.row(0));
+        prop_assert_eq!(action, ref_action);
+        prop_assert_eq!(value.to_bits(), ref_value.to_bits());
+        prop_assert_eq!(action, q.greedy_action(0));
+        prop_assert_eq!(value.to_bits(), q.max_value(0).to_bits());
+    }
+
+    /// Duplicated maxima anywhere in the row: the fused kernel must
+    /// return the first (lowest-index) occurrence.
+    #[test]
+    fn row_best_ties_break_low_for_any_duplicate_position(
+        len in 2usize..20,
+        positions in proptest::collection::vec(0usize..20, 2..5),
+        value in -1e6f64..1e6,
+    ) {
+        let mut q = QTable::with_init(1, len, value - 1.0).unwrap();
+        let mut firsts: Vec<usize> = positions.iter().map(|p| p % len).collect();
+        firsts.sort_unstable();
+        for &p in &firsts {
+            q.update(0, p, value, 0, 1.0, 0.0);
+        }
+        prop_assert_eq!(q.row_best(0).0, firsts[0]);
+    }
+
     /// EWMA predictions always stay inside the convex hull of the
     /// observations (it is a convex combination).
     #[test]

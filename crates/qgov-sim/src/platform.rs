@@ -155,6 +155,28 @@ pub struct FrameResult {
 }
 
 impl FrameResult {
+    /// An all-zero result suitable as the reusable output slot of
+    /// [`Platform::run_frame_into`] (its per-core vectors grow to the
+    /// core count on first use and are reused — allocation-free —
+    /// thereafter).
+    #[must_use]
+    pub fn empty() -> Self {
+        FrameResult {
+            frame_time: SimTime::ZERO,
+            wall_time: SimTime::ZERO,
+            period: SimTime::ZERO,
+            overhead: SimTime::ZERO,
+            per_core_busy: Vec::new(),
+            per_core_cycles: Vec::new(),
+            energy: Energy::ZERO,
+            avg_power: Power::ZERO,
+            measured_power: Power::ZERO,
+            measured_energy: Energy::ZERO,
+            temperature: Temp::default(),
+            cluster_opp: 0,
+        }
+    }
+
     /// `true` if the frame met its deadline.
     #[must_use]
     pub fn met_deadline(&self) -> bool {
@@ -368,6 +390,32 @@ impl Platform {
         work: &[WorkSlice],
         period: SimTime,
     ) -> Result<FrameResult, SimError> {
+        let mut out = FrameResult::empty();
+        self.run_frame_into(work, period, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`run_frame`](Platform::run_frame) into a caller-provided result
+    /// slot, reusing its per-core vectors.
+    ///
+    /// This is the allocation-free form of the frame kernel: the
+    /// experiment harness keeps one [`FrameResult`] alive across the
+    /// whole run, so the steady-state loop never touches the heap
+    /// (after the slot's vectors have grown to the core count once).
+    /// Bit-identical to [`run_frame`](Platform::run_frame) — the
+    /// allocating form is a thin wrapper over this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WorkLengthMismatch`] if `work.len()` differs
+    /// from the core count, or [`SimError::InvalidConfig`] if `period`
+    /// is zero; `out` is left untouched on error.
+    pub fn run_frame_into(
+        &mut self,
+        work: &[WorkSlice],
+        period: SimTime,
+        out: &mut FrameResult,
+    ) -> Result<(), SimError> {
         if work.len() != self.pmus.len() {
             return Err(SimError::WorkLengthMismatch {
                 cores: self.pmus.len(),
@@ -384,8 +432,8 @@ impl Platform {
         self.pending_overhead = SimTime::ZERO;
 
         // Execute to the barrier.
-        let mut per_core_busy = Vec::with_capacity(work.len());
-        let mut per_core_cycles = Vec::with_capacity(work.len());
+        out.per_core_busy.clear();
+        out.per_core_cycles.clear();
         let mut compute_time = SimTime::ZERO;
         for (core, slice) in work.iter().enumerate() {
             let opp_idx = self.vf.core_opp(core).expect("core index in range");
@@ -397,8 +445,8 @@ impl Platform {
                 .freq;
             let busy = slice.time_at(freq);
             compute_time = compute_time.max(busy);
-            per_core_busy.push(busy);
-            per_core_cycles.push(slice.cpu_cycles);
+            out.per_core_busy.push(busy);
+            out.per_core_cycles.push(slice.cpu_cycles);
         }
         let frame_time = compute_time + overhead;
         let wall_time = frame_time.max(period);
@@ -406,7 +454,7 @@ impl Platform {
         // Energy accounting at the temperature of frame start.
         let temp = self.thermal.temperature();
         let mut energy = Energy::ZERO;
-        for (core, &busy) in per_core_busy.iter().enumerate() {
+        for (core, &busy) in out.per_core_busy.iter().enumerate() {
             let opp_idx = self.vf.core_opp(core).expect("core index in range");
             let opp = self.vf.table().get(opp_idx).expect("opp index in range");
             // The governor's serial overhead section runs on core 0.
@@ -416,7 +464,11 @@ impl Platform {
             let p_busy = self.power_model.core_power(opp, 1.0, temp).total();
             let p_idle = self.power_model.core_power(opp, 0.0, temp).total();
             energy += p_busy * active + p_idle * idle;
-            self.pmus[core].record(per_core_cycles[core], busy, wall_time.saturating_sub(busy));
+            self.pmus[core].record(
+                out.per_core_cycles[core],
+                busy,
+                wall_time.saturating_sub(busy),
+            );
         }
         let cluster_opp_idx = self.vf.cluster_opp();
         let cluster_opp = self
@@ -436,20 +488,17 @@ impl Platform {
         self.frames += 1;
         self.total_true_energy += energy;
 
-        Ok(FrameResult {
-            frame_time,
-            wall_time,
-            period,
-            overhead,
-            per_core_busy,
-            per_core_cycles,
-            energy,
-            avg_power,
-            measured_power,
-            measured_energy,
-            temperature,
-            cluster_opp: cluster_opp_idx,
-        })
+        out.frame_time = frame_time;
+        out.wall_time = wall_time;
+        out.period = period;
+        out.overhead = overhead;
+        out.energy = energy;
+        out.avg_power = avg_power;
+        out.measured_power = measured_power;
+        out.measured_energy = measured_energy;
+        out.temperature = temperature;
+        out.cluster_opp = cluster_opp_idx;
+        Ok(())
     }
 }
 
@@ -620,6 +669,55 @@ mod tests {
         }
         assert!(p.temperature() > t0);
         assert!(p.peak_temperature() >= p.temperature());
+    }
+
+    #[test]
+    fn run_frame_into_matches_run_frame_bit_for_bit() {
+        let work = vec![
+            WorkSlice::cpu_only(Cycles::from_mcycles(5)),
+            WorkSlice::new(Cycles::from_mcycles(30), SimTime::from_ms(2)),
+            WorkSlice::IDLE,
+            WorkSlice::cpu_only(Cycles::from_mcycles(12)),
+        ];
+        let period = SimTime::from_ms(40);
+
+        let mut alloc = quiet_platform();
+        alloc.set_cluster_opp(8);
+        let mut reuse = quiet_platform();
+        reuse.set_cluster_opp(8);
+
+        let mut slot = FrameResult::empty();
+        for _ in 0..20 {
+            let fresh = alloc.run_frame(&work, period).unwrap();
+            reuse.run_frame_into(&work, period, &mut slot).unwrap();
+            assert_eq!(fresh, slot);
+            assert_eq!(
+                fresh.energy.as_joules().to_bits(),
+                slot.energy.as_joules().to_bits()
+            );
+        }
+        assert_eq!(alloc.total_energy(), reuse.total_energy());
+        assert_eq!(alloc.now(), reuse.now());
+    }
+
+    #[test]
+    fn run_frame_into_leaves_slot_untouched_on_error() {
+        let mut p = quiet_platform();
+        let mut slot = FrameResult::empty();
+        p.run_frame_into(
+            &[WorkSlice::cpu_only(Cycles::from_mcycles(1)); 4],
+            SimTime::from_ms(40),
+            &mut slot,
+        )
+        .unwrap();
+        let before = slot.clone();
+        assert!(p
+            .run_frame_into(&[WorkSlice::IDLE; 3], SimTime::from_ms(40), &mut slot)
+            .is_err());
+        assert!(p
+            .run_frame_into(&[WorkSlice::IDLE; 4], SimTime::ZERO, &mut slot)
+            .is_err());
+        assert_eq!(slot, before);
     }
 
     #[test]

@@ -24,6 +24,22 @@ pub trait Application {
     /// Produces the next frame's work demand.
     fn next_frame(&mut self) -> FrameDemand;
 
+    /// Produces the next frame's work demand into a caller-provided
+    /// slot, advancing the cursor exactly like
+    /// [`next_frame`](Application::next_frame) and leaving `out` equal
+    /// to what `next_frame` would have returned.
+    ///
+    /// The default implementation just assigns `next_frame()`'s value
+    /// (allocating). Implementations on the experiment hot path
+    /// ([`SyntheticWorkload`](crate::SyntheticWorkload),
+    /// [`WorkloadTrace`](crate::WorkloadTrace),
+    /// [`ShardedTrace`](crate::ShardedTrace)) override it to refill
+    /// `out.threads` in place, so a harness reusing one slot drives the
+    /// steady-state frame loop without per-frame heap allocation.
+    fn next_frame_into(&mut self, out: &mut FrameDemand) {
+        *out = self.next_frame();
+    }
+
     /// Rewinds to frame zero, reproducing the identical sequence.
     fn reset(&mut self);
 
@@ -47,6 +63,9 @@ impl<A: Application + ?Sized> Application for Box<A> {
     }
     fn next_frame(&mut self) -> FrameDemand {
         (**self).next_frame()
+    }
+    fn next_frame_into(&mut self, out: &mut FrameDemand) {
+        (**self).next_frame_into(out);
     }
     fn reset(&mut self) {
         (**self).reset()

@@ -73,6 +73,33 @@ impl FrameDemand {
         FrameDemand { threads: demands }
     }
 
+    /// Refills this demand with `total` cycles spread evenly over
+    /// `threads` threads (remainder cycles go to thread 0) — the
+    /// in-place form of [`FrameDemand::split_evenly`], reusing the
+    /// existing `threads` allocation so a per-frame generator can run
+    /// heap-free. Produces exactly the same demand as `split_evenly`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn fill_split_evenly(&mut self, total: Cycles, threads: usize, mem_time: SimTime) {
+        assert!(threads > 0, "a frame needs at least one thread");
+        let per = total.count() / threads as u64;
+        let rem = total.count() % threads as u64;
+        self.threads.clear();
+        self.threads.extend((0..threads).map(|i| {
+            let c = if i == 0 { per + rem } else { per };
+            ThreadDemand::new(Cycles::new(c), mem_time)
+        }));
+    }
+
+    /// Refills this demand from another's threads in place (reusing the
+    /// existing allocation — the replay hot path's `clone_from`).
+    pub fn copy_from(&mut self, source: &FrameDemand) {
+        self.threads.clear();
+        self.threads.extend_from_slice(&source.threads);
+    }
+
     /// Number of threads this frame spawns.
     #[must_use]
     pub fn thread_count(&self) -> usize {
@@ -109,6 +136,25 @@ mod tests {
         // Remainder on thread 0.
         assert_eq!(f.threads[0].cpu_cycles, Cycles::new(28));
         assert_eq!(f.threads[1].cpu_cycles, Cycles::new(25));
+    }
+
+    #[test]
+    fn fill_split_evenly_matches_split_evenly_and_reuses_capacity() {
+        let mut out = FrameDemand::default();
+        for (total, threads) in [(103u64, 4usize), (7, 7), (1_000_003, 3), (5, 1)] {
+            out.fill_split_evenly(Cycles::new(total), threads, SimTime::from_us(10));
+            let fresh =
+                FrameDemand::split_evenly(Cycles::new(total), threads, SimTime::from_us(10));
+            assert_eq!(out, fresh);
+        }
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let source = FrameDemand::split_evenly(Cycles::new(99), 3, SimTime::from_us(5));
+        let mut out = FrameDemand::split_evenly(Cycles::new(7), 6, SimTime::ZERO);
+        out.copy_from(&source);
+        assert_eq!(out, source);
     }
 
     #[test]

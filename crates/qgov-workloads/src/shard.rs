@@ -692,6 +692,17 @@ impl Application for ShardedTrace {
     /// experiment anyway. Use [`load_shard`](ShardedTrace::load_shard)
     /// directly to handle shard errors as values.
     fn next_frame(&mut self) -> FrameDemand {
+        let mut out = FrameDemand::default();
+        self.next_frame_into(&mut out);
+        out
+    }
+
+    /// Allocation-free streaming replay within a resident shard:
+    /// refills `out` from the covering frame in place. Heap activity is
+    /// confined to shard-boundary loads (O(frames / shard_frames)
+    /// amortised); [`next_frame`](Application::next_frame) delegates
+    /// here.
+    fn next_frame_into(&mut self, out: &mut FrameDemand) {
         let index = self.shard_index_of(self.cursor);
         if self.current.as_ref().is_none_or(|s| s.index() != index) {
             let shard = self.load_shard(index).unwrap_or_else(|e| {
@@ -705,9 +716,8 @@ impl Application for ShardedTrace {
             self.shard_loads += 1;
         }
         let shard = self.current.as_ref().expect("shard just loaded");
-        let frame = shard.frame(self.cursor).clone();
+        out.copy_from(shard.frame(self.cursor));
         self.cursor = (self.cursor + 1) % self.total_frames;
-        frame
     }
 
     /// Rewinds to frame zero without touching disk: the resident shard

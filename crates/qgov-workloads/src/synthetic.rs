@@ -329,12 +329,18 @@ impl Application for SyntheticWorkload {
     }
 
     fn next_frame(&mut self) -> FrameDemand {
+        let mut out = FrameDemand::default();
+        self.next_frame_into(&mut out);
+        out
+    }
+
+    fn next_frame_into(&mut self, out: &mut FrameDemand) {
         let mut m = self.multiplier_at(self.frame_index);
         if self.noise_cv > 0.0 {
             m *= (1.0 + self.noise_cv * gaussian(&mut self.rng)).max(0.1);
         }
         self.frame_index += 1;
-        FrameDemand::split_evenly(self.base.scale(m), self.threads, self.mem_time)
+        out.fill_split_evenly(self.base.scale(m), self.threads, self.mem_time);
     }
 
     fn reset(&mut self) {

@@ -281,9 +281,17 @@ impl Application for WorkloadTrace {
     /// Replays the recorded frames in order; wraps around at the end
     /// (replay beyond the recorded length repeats the sequence).
     fn next_frame(&mut self) -> FrameDemand {
-        let frame = self.frames[self.cursor].clone();
+        let mut out = FrameDemand::default();
+        self.next_frame_into(&mut out);
+        out
+    }
+
+    /// Allocation-free replay: refills `out` from the current frame in
+    /// place (the harness's steady-state path);
+    /// [`next_frame`](Application::next_frame) delegates here.
+    fn next_frame_into(&mut self, out: &mut FrameDemand) {
+        out.copy_from(&self.frames[self.cursor]);
         self.cursor = (self.cursor + 1) % self.frames.len();
-        frame
     }
 
     fn reset(&mut self) {

@@ -76,7 +76,9 @@ pub mod prelude {
         run_table1_sweep_with, run_table2_sweep, run_table2_sweep_with, run_table3_sweep,
         run_table3_sweep_with, Aggregate, SeedSweep,
     };
-    pub use qgov_core::{ExplorationKind, RtmConfig, RtmGovernor, StateKind};
+    pub use qgov_core::{
+        EpochRecord, ExplorationKind, HistoryMode, RtmConfig, RtmGovernor, StateKind,
+    };
     pub use qgov_governors::{
         ConservativeGovernor, EpochObservation, GeQiuConfig, GeQiuGovernor, Governor,
         GovernorContext, OndemandGovernor, OracleGovernor, PerformanceGovernor, PowersaveGovernor,
@@ -88,8 +90,8 @@ pub mod prelude {
     };
     pub use qgov_rl::{DecayingEpsilon, EpdPolicy, EwmaPredictor, Predictor, QTable, SlackReward};
     pub use qgov_sim::{
-        DvfsConfig, Opp, OppTable, Platform, PlatformConfig, SensorConfig, ThermalConfig, VfDomain,
-        WorkSlice,
+        DvfsConfig, FrameResult, Opp, OppTable, Platform, PlatformConfig, SensorConfig,
+        ThermalConfig, VfDomain, WorkSlice,
     };
     pub use qgov_units::{Cycles, Energy, Freq, Power, SimTime, Temp, Volt};
     pub use qgov_workloads::{

@@ -1,0 +1,179 @@
+//! Proof of the zero-allocation decision epoch: a counting global
+//! allocator wraps the system allocator, and the steady-state
+//! simulate–decide–learn loop (post-warm-up, post-calibration) is
+//! asserted to perform **zero** heap allocations per epoch.
+//!
+//! The loop mirrors `qgov_bench::harness::run_experiment`'s per-epoch
+//! body exactly — `next_frame_into` → work-slice scratch refill →
+//! `run_frame_into` → `record_frame` (pre-reserved) → `decide` → apply
+//! — so the property covers every layer the tentpole optimised:
+//! workload generation, the platform frame kernel, the report, and the
+//! RTM's fused Q-table epoch with its scratch buffers and bounded
+//! history ring.
+//!
+//! This file deliberately holds a single `#[test]` function: the
+//! counter is process-global, and a sibling test allocating
+//! concurrently would make the measurement meaningless.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qgov::prelude::*;
+
+/// Counts every allocation and reallocation passed to the system
+/// allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One harness epoch, identical to `run_experiment`'s loop body.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    app: &mut SyntheticWorkload,
+    platform: &mut Platform,
+    rtm: &mut RtmGovernor,
+    report: &mut RunReport,
+    demand: &mut FrameDemand,
+    work: &mut [WorkSlice],
+    frame: &mut FrameResult,
+    epoch: u64,
+) {
+    app.next_frame_into(demand);
+    // `to_work_slices_into` for a demand with one thread per core.
+    work.fill(WorkSlice::IDLE);
+    for (i, t) in demand.threads.iter().enumerate() {
+        let core = i.min(work.len() - 1);
+        work[core] = WorkSlice::new(
+            work[core].cpu_cycles + t.cpu_cycles,
+            work[core].mem_time + t.mem_time,
+        );
+    }
+    platform
+        .run_frame_into(work, SimTime::from_ms(40), frame)
+        .expect("work sized to cores");
+    report.record_frame(
+        frame.frame_time,
+        frame.wall_time,
+        frame.energy,
+        frame.cluster_opp,
+        frame.met_deadline(),
+    );
+    let decision = rtm.decide(&EpochObservation {
+        frame: &*frame,
+        epoch,
+    });
+    platform.set_cluster_opp(decision.resolve_cluster(platform.current_opp()));
+    platform.add_overhead(rtm.processing_overhead());
+}
+
+#[test]
+fn steady_state_decision_epoch_is_allocation_free() {
+    const WARMUP: u64 = 600;
+    const MEASURED: u64 = 400;
+    const FRAMES: u64 = WARMUP + MEASURED;
+
+    // Noisy constant workload: exploration keeps firing at the ε floor,
+    // so the measured window exercises the EPD selection path too.
+    let mut app = SyntheticWorkload::constant(
+        "steady",
+        Cycles::from_mcycles(160),
+        SimTime::from_ms(40),
+        FRAMES,
+        4,
+        5,
+    )
+    .with_noise(0.1);
+
+    let mut platform = Platform::new(PlatformConfig {
+        sensor: SensorConfig::ideal(),
+        ..PlatformConfig::odroid_xu3_a15()
+    })
+    .expect("valid platform");
+    let cores = platform.cores();
+
+    // Offline bounds (no calibration phase) and a bounded history ring:
+    // the long-horizon configuration whose memory must not grow.
+    let config = RtmConfig::paper(42)
+        .with_workload_bounds(1e7, 1e9)
+        .with_history(HistoryMode::LastN(64));
+    let mut rtm = RtmGovernor::new(config).expect("valid config");
+
+    let ctx = GovernorContext::new(platform.opp_table().clone(), cores, SimTime::from_ms(40));
+    let first = rtm.init(&ctx);
+    platform.set_cluster_opp(first.resolve_cluster(platform.current_opp()));
+
+    let mut report = RunReport::new("rtm", "steady", SimTime::from_ms(40));
+    report.reserve_frames(FRAMES as usize);
+    let mut demand = FrameDemand::default();
+    let mut work = vec![WorkSlice::IDLE; cores];
+    let mut frame = FrameResult::empty();
+
+    // Warm-up: calibration-free learning start, ε decay past the floor,
+    // the history ring through its first compaction (2 × 64 pushes),
+    // every scratch buffer grown to capacity.
+    for epoch in 0..WARMUP {
+        run_epoch(
+            &mut app,
+            &mut platform,
+            &mut rtm,
+            &mut report,
+            &mut demand,
+            &mut work,
+            &mut frame,
+            epoch,
+        );
+    }
+    assert!(
+        rtm.is_exploitation(),
+        "warm-up must reach the exploitation phase"
+    );
+
+    // Measured window: zero heap allocations across every epoch.
+    let before = allocation_count();
+    for epoch in WARMUP..FRAMES {
+        run_epoch(
+            &mut app,
+            &mut platform,
+            &mut rtm,
+            &mut report,
+            &mut demand,
+            &mut work,
+            &mut frame,
+            epoch,
+        );
+    }
+    let allocated = allocation_count() - before;
+    assert_eq!(
+        allocated, 0,
+        "steady-state decision epochs must not allocate \
+         ({allocated} allocations over {MEASURED} epochs)"
+    );
+
+    // The loop did real work: telemetry advanced and stayed bounded.
+    assert_eq!(report.frames(), FRAMES);
+    assert_eq!(rtm.history().len(), 64);
+    assert!(rtm.exploration_count() > 0);
+}

@@ -1,0 +1,171 @@
+//! Golden seam test for the zero-allocation harness refactor: the
+//! scratch-buffer experiment loop (`run_experiment` over
+//! `next_frame_into` / `run_frame_into` / reused work slices) must be
+//! **bit-identical** to a naive reference loop written against the
+//! allocating public APIs (`next_frame`, `run_frame`, a fresh work
+//! vector per frame) — for every governor family and for both
+//! generated and trace-replayed workloads.
+
+use qgov::prelude::*;
+
+/// The allocating reference implementation of the experiment loop,
+/// step-for-step the documented `run_experiment` contract.
+fn reference_run(
+    governor: &mut dyn Governor,
+    app: &mut dyn Application,
+    platform_config: PlatformConfig,
+    frames: u64,
+) -> (RunReport, u64) {
+    let mut platform = Platform::new(platform_config).expect("valid platform config");
+    let period = app.period();
+    let cores = platform.cores();
+    let ctx = GovernorContext::new(platform.opp_table().clone(), cores, period);
+
+    app.reset();
+    let first = governor.init(&ctx);
+    apply(&mut platform, &first);
+
+    let total = frames.min(app.frames());
+    let mut report = RunReport::new(governor.name(), app.name(), period);
+    for epoch in 0..total {
+        let demand = app.next_frame();
+        let mut work = vec![WorkSlice::IDLE; cores];
+        for (i, t) in demand.threads.iter().enumerate() {
+            let core = i.min(cores - 1);
+            work[core] = WorkSlice::new(
+                work[core].cpu_cycles + t.cpu_cycles,
+                work[core].mem_time + t.mem_time,
+            );
+        }
+        let frame = platform.run_frame(&work, period).expect("work sized");
+        report.record_frame(
+            frame.frame_time,
+            frame.wall_time,
+            frame.energy,
+            frame.cluster_opp,
+            frame.met_deadline(),
+        );
+        let decision = governor.decide(&EpochObservation {
+            frame: &frame,
+            epoch,
+        });
+        apply(&mut platform, &decision);
+        platform.add_overhead(governor.processing_overhead());
+    }
+    report.set_run_totals(
+        platform.total_energy(),
+        platform.vf().transitions(),
+        platform.vf().total_latency(),
+        platform.peak_temperature(),
+    );
+    (report, platform.total_energy().as_joules().to_bits())
+}
+
+fn quiet_config() -> PlatformConfig {
+    PlatformConfig {
+        sensor: SensorConfig::ideal(),
+        ..PlatformConfig::odroid_xu3_a15()
+    }
+}
+
+fn apply(platform: &mut Platform, decision: &VfDecision) {
+    match decision {
+        VfDecision::NoChange => {}
+        other => platform.set_cluster_opp(other.resolve_cluster(platform.current_opp())),
+    }
+}
+
+fn noisy_app(frames: u64) -> SyntheticWorkload {
+    SyntheticWorkload::constant(
+        "golden",
+        Cycles::from_mcycles(120),
+        SimTime::from_ms(40),
+        frames,
+        4,
+        9,
+    )
+    .with_noise(0.15)
+}
+
+fn assert_bit_identical(gov_a: &mut dyn Governor, gov_b: &mut dyn Governor, frames: u64) {
+    let mut app_a = noisy_app(frames);
+    let mut app_b = noisy_app(frames);
+    let (reference, ref_energy_bits) = reference_run(gov_a, &mut app_a, quiet_config(), frames);
+    let outcome = run_experiment(gov_b, &mut app_b, quiet_config(), frames);
+    assert_eq!(
+        outcome.report,
+        reference,
+        "{} diverged",
+        reference.governor()
+    );
+    assert_eq!(
+        outcome.platform.total_energy().as_joules().to_bits(),
+        ref_energy_bits,
+        "{} platform energy diverged",
+        reference.governor()
+    );
+}
+
+#[test]
+fn heuristic_governors_are_bit_identical_to_the_reference_loop() {
+    assert_bit_identical(
+        &mut OndemandGovernor::linux_default(),
+        &mut OndemandGovernor::linux_default(),
+        150,
+    );
+    assert_bit_identical(
+        &mut ConservativeGovernor::linux_default(),
+        &mut ConservativeGovernor::linux_default(),
+        150,
+    );
+    assert_bit_identical(
+        &mut PerformanceGovernor::new(),
+        &mut PerformanceGovernor::new(),
+        80,
+    );
+    assert_bit_identical(
+        &mut PowersaveGovernor::new(),
+        &mut PowersaveGovernor::new(),
+        80,
+    );
+}
+
+#[test]
+fn learning_governors_are_bit_identical_to_the_reference_loop() {
+    let config = || RtmConfig::paper(7).with_workload_bounds(1e8, 1e9);
+    assert_bit_identical(
+        &mut RtmGovernor::new(config()).unwrap(),
+        &mut RtmGovernor::new(config()).unwrap(),
+        400,
+    );
+    assert_bit_identical(
+        &mut GeQiuGovernor::new(GeQiuConfig::paper(7)),
+        &mut GeQiuGovernor::new(GeQiuConfig::paper(7)),
+        300,
+    );
+}
+
+#[test]
+fn trace_replay_is_bit_identical_to_the_reference_loop() {
+    // The trace path exercises `WorkloadTrace::next_frame_into` (the
+    // clone-free replay) against the cloning `next_frame`.
+    let mut source = VideoDecoderModel::mpeg4_svga_24fps(3).with_frames(200);
+    let (trace, bounds) = precharacterize(&mut source);
+
+    let mut replay_a = trace.clone();
+    let mut replay_b = trace;
+    let mut rtm_a =
+        RtmGovernor::new(RtmConfig::paper(3).with_workload_bounds(bounds.0, bounds.1)).unwrap();
+    let mut rtm_b =
+        RtmGovernor::new(RtmConfig::paper(3).with_workload_bounds(bounds.0, bounds.1)).unwrap();
+
+    let (reference, _) = reference_run(&mut rtm_a, &mut replay_a, quiet_config(), 200);
+    let outcome = run_experiment(&mut rtm_b, &mut replay_b, quiet_config(), 200);
+    assert_eq!(outcome.report, reference);
+
+    // The RTM-visible telemetry agrees frame-for-frame as well.
+    assert_eq!(rtm_a.history().len(), rtm_b.history().len());
+    for (a, b) in rtm_a.history().iter().zip(rtm_b.history()) {
+        assert_eq!(a, b);
+    }
+}

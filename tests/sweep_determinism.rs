@@ -137,6 +137,54 @@ fn sweep_cells_are_independent_across_seeds() {
 }
 
 #[test]
+fn flattened_grid_matches_per_seed_nested_runs() {
+    // The sweep layer expands the full seed × methodology cross
+    // product into ONE job queue (`Aggregate::collect_grid`). Whatever
+    // the queue's width, every per-seed bundle must stay bit-identical
+    // to the same seed's experiment run alone with its own nested
+    // (methodology-only) batch — across experiment families with
+    // different grid shapes.
+    let sweep = SeedSweep::new(vec![2017, 5, 77]);
+    for workers in [1usize, 2, 7] {
+        let runner = RunnerConfig::with_workers(workers);
+
+        let table1 = run_table1_sweep_with(&sweep, 150, &runner);
+        let table2 = run_table2_sweep_with(&sweep, 150, &runner);
+        let levels = run_state_levels_ablation_sweep_with(&sweep, 120, &runner);
+        for (i, &seed) in sweep.seeds().iter().enumerate() {
+            let serial = RunnerConfig::serial();
+            assert_eq!(
+                table1.per_seed[i],
+                qgov::bench::experiments::run_table1_with(seed, 150, &serial),
+                "table1 seed {seed} at {workers} workers"
+            );
+            assert_eq!(
+                table2.per_seed[i],
+                qgov::bench::experiments::run_table2_with(seed, 150, &serial),
+                "table2 seed {seed} at {workers} workers"
+            );
+            assert_eq!(
+                levels.per_seed[i],
+                qgov::bench::experiments::run_state_levels_ablation_with(seed, 120, &serial),
+                "levels ablation seed {seed} at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn flattened_grid_handles_duplicate_seeds() {
+    // Duplicate sweep seeds share one deduplicated preparation in the
+    // flattened queue; their bundles must still be bit-identical to
+    // independent runs (and to each other).
+    let sweep = SeedSweep::new(vec![9, 9]);
+    let swept = run_table3_sweep_with(&sweep, 150, &parallel_config());
+    let alone = qgov::bench::experiments::run_table3_with(9, 150, &RunnerConfig::serial());
+    assert_eq!(swept.per_seed[0], alone);
+    assert_eq!(swept.per_seed[1], alone);
+}
+
+#[test]
 fn single_seed_sweep_preserves_the_single_run_baseline() {
     let sweep = SeedSweep::single(2017);
     for runner in [RunnerConfig::serial(), parallel_config()] {

@@ -68,6 +68,7 @@ pub struct Criterion {
     warmup_iters: u64,
     budget: Duration,
     repeats: u64,
+    json_target: Option<String>,
 }
 
 impl Default for Criterion {
@@ -76,6 +77,7 @@ impl Default for Criterion {
             warmup_iters: 32,
             budget: Duration::from_millis(200),
             repeats: 1,
+            json_target: None,
         }
     }
 }
@@ -104,6 +106,58 @@ impl Criterion {
         self
     }
 
+    /// Names this driver's bench target for machine-readable output:
+    /// when the `QGOV_BENCH_JSON` environment variable holds a path,
+    /// every completed benchmark appends one JSON line
+    /// `{"target", "metric", "mean", "sigma", "n"}` (mean/sigma in
+    /// ns/iter, `n` = measurement passes) to that file.
+    ///
+    /// Stand-in extension (no upstream equivalent), like
+    /// [`Criterion::with_repeats`]: gate the call if these vendored
+    /// crates are ever swapped for the real registry ones.
+    #[must_use]
+    pub fn with_json_target(mut self, target: &str) -> Self {
+        self.json_target = Some(target.to_owned());
+        self
+    }
+
+    /// Appends one record to the `QGOV_BENCH_JSON` file, if configured.
+    /// Failures to write are reported on stderr, never fatal — a bench
+    /// run must not die on a read-only filesystem.
+    fn emit_json(&self, metric: &str, mean_ns: f64, sigma_ns: f64, n: u64) {
+        let Some(target) = &self.json_target else {
+            return;
+        };
+        let Some(path) = std::env::var_os("QGOV_BENCH_JSON").filter(|p| !p.is_empty()) else {
+            return;
+        };
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        // Non-finite values render as JSON null (f64's inf/NaN display
+        // forms are not valid JSON).
+        let num = |v: f64| {
+            if v.is_finite() {
+                v.to_string()
+            } else {
+                "null".to_owned()
+            }
+        };
+        let line = format!(
+            "{{\"target\":\"{}\",\"metric\":\"{}\",\"mean\":{},\"sigma\":{},\"n\":{n}}}\n",
+            escape(target),
+            escape(metric),
+            num(mean_ns),
+            num(sigma_ns),
+        );
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("warning: QGOV_BENCH_JSON append to {path:?} failed: {e}");
+        }
+    }
+
     /// Benchmarks one routine under `id`, printing mean time per
     /// iteration.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
@@ -128,6 +182,7 @@ impl Criterion {
         if self.repeats == 1 {
             let mean_ns = passes[0];
             println!("{id:<44} {mean_ns:>12.1} ns/iter  ({iters} iters)");
+            self.emit_json(id, mean_ns, 0.0, 1);
         } else {
             let n = passes.len() as f64;
             let mean = passes.iter().sum::<f64>() / n;
@@ -137,6 +192,7 @@ impl Criterion {
                 sd = var.sqrt(),
                 reps = self.repeats,
             );
+            self.emit_json(id, mean, var.sqrt(), self.repeats);
         }
         self
     }
@@ -198,5 +254,39 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_repeats_panics() {
         let _ = Criterion::default().with_repeats(0);
+    }
+
+    /// One test covers all the env-var-dependent behaviour (tests in a
+    /// binary run concurrently, and `QGOV_BENCH_JSON` is process
+    /// state).
+    #[test]
+    fn json_emission_appends_schema_lines_and_respects_gating() {
+        // Gating: no env var → no write; env var but no target → no
+        // write (exercises the early returns).
+        std::env::remove_var("QGOV_BENCH_JSON");
+        Criterion::default()
+            .with_json_target("t")
+            .emit_json("metric", 1.0, 0.0, 1);
+
+        // `emit_json` reads the path from the environment at call time;
+        // drive the formatter directly against a temp file.
+        let path = std::env::temp_dir().join(format!("criterion-json-test-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("QGOV_BENCH_JSON", &path);
+        Criterion::default().emit_json("untargeted", 9.0, 0.0, 1);
+        let c = Criterion::default().with_json_target("unit-test");
+        c.emit_json("some_metric", 12.5, 0.25, 5);
+        c.emit_json("with\"quote", 1.0, 0.0, 1);
+        std::env::remove_var("QGOV_BENCH_JSON");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "gated emissions must not write: {text}");
+        assert_eq!(
+            lines[0],
+            "{\"target\":\"unit-test\",\"metric\":\"some_metric\",\"mean\":12.5,\"sigma\":0.25,\"n\":5}"
+        );
+        assert!(lines[1].contains("with\\\"quote"));
     }
 }
