@@ -1,0 +1,68 @@
+//! **big.LITTLE placement experiment**: the scaled H.264 decode on the
+//! ODROID-XU3's heterogeneous two-cluster chip under three placements —
+//! everything on the A15 quad, everything on the A7 quad, and one
+//! Q-agent per cluster with greedy task migration.
+//!
+//! Run with `cargo bench -p qgov-bench --bench biglittle`.
+//! `QGOV_FRAMES` overrides the horizon (default 3000, the paper's clip
+//! length); `QGOV_WORKERS` picks the runner policy; `QGOV_SEEDS` the
+//! seed sweep (default one seed, matching the recorded baselines in
+//! EXPERIMENTS.md).
+
+use qgov_bench::perf::{append_records, BenchRecord};
+use qgov_bench::run_biglittle_sweep_with;
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use qgov_bench::sweep::SeedSweep;
+use std::time::Instant;
+
+const TARGET: &str = "biglittle";
+
+fn main() {
+    let frames = frames_from_env(3_000);
+    let sweep = SeedSweep::from_env(2017);
+    let runner = RunnerConfig::from_env();
+    println!("== big.LITTLE placement: static vs learned migration ==");
+    println!(
+        "   workload: chip-scaled H.264 football, {frames} frames at 15 fps, {}",
+        sweep.describe()
+    );
+    println!(
+        "   topology: ODROID-XU3 (A15 quad + A7 quad), runner: {}\n",
+        runner.describe()
+    );
+    let start = Instant::now();
+    let result = run_biglittle_sweep_with(&sweep, frames, &runner);
+    let elapsed = start.elapsed();
+
+    println!("{}", result.table.render());
+    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+
+    let mut records = vec![BenchRecord::scalar(
+        TARGET,
+        "wall_clock_s",
+        elapsed.as_secs_f64(),
+    )];
+    for row in &result.rows {
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("energy_joules/{}", row.placement),
+            &row.energy_joules,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("normalized_energy/{}", row.placement),
+            &row.normalized_energy,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("miss_rate/{}", row.placement),
+            &row.miss_rate,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("energy_per_met_frame/{}", row.placement),
+            &row.energy_per_met_frame,
+        ));
+    }
+    append_records(&records);
+}

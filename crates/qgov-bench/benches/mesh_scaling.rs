@@ -1,0 +1,60 @@
+//! **Mesh weak-scaling experiment**: one chip-level RTM (per-cluster
+//! Q-agents + greedy migration) across synthetic homogeneous meshes of
+//! 4, 8, and 16 A15 quads, with the workload scaled to the cluster
+//! count. Under ideal weak scaling the per-cluster energy stays flat
+//! as the chip grows.
+//!
+//! Run with `cargo bench -p qgov-bench --bench mesh_scaling`.
+//! `QGOV_FRAMES` overrides the horizon (default 1500); `QGOV_WORKERS`
+//! picks the runner policy; `QGOV_SEEDS` the seed sweep (default one
+//! seed, matching the recorded baselines in EXPERIMENTS.md).
+
+use qgov_bench::perf::{append_records, BenchRecord};
+use qgov_bench::run_mesh_scaling_sweep_with;
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use qgov_bench::sweep::SeedSweep;
+use std::time::Instant;
+
+const TARGET: &str = "mesh_scaling";
+
+fn main() {
+    let frames = frames_from_env(1_500);
+    let sweep = SeedSweep::from_env(2017);
+    let runner = RunnerConfig::from_env();
+    println!("== Mesh weak scaling: per-cluster RTM on 4/8/16 clusters ==");
+    println!(
+        "   workload: ~40% per-core utilisation scaled to the mesh, {frames} frames, {}",
+        sweep.describe()
+    );
+    println!("   runner: {}\n", runner.describe());
+    let start = Instant::now();
+    let result = run_mesh_scaling_sweep_with(&sweep, frames, &runner);
+    let elapsed = start.elapsed();
+
+    println!("{}", result.table.render());
+    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+
+    let mut records = vec![BenchRecord::scalar(
+        TARGET,
+        "wall_clock_s",
+        elapsed.as_secs_f64(),
+    )];
+    for row in &result.rows {
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("energy_per_cluster/{}clusters", row.clusters),
+            &row.energy_per_cluster,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("miss_rate/{}clusters", row.clusters),
+            &row.miss_rate,
+        ));
+        records.push(BenchRecord::from_summary(
+            TARGET,
+            format!("migrations/{}clusters", row.clusters),
+            &row.migrations,
+        ));
+    }
+    append_records(&records);
+}

@@ -46,7 +46,10 @@ pub struct ExperimentOutcome {
 /// Applies a governor decision to the platform, resolving per-core
 /// requests to the cluster maximum on shared-rail hardware (the same
 /// arbitration `cpufreq` applies within a frequency policy).
-fn apply_decision(platform: &mut Platform, decision: &VfDecision) -> Result<(), SimError> {
+pub(crate) fn apply_decision(
+    platform: &mut Platform,
+    decision: &VfDecision,
+) -> Result<(), SimError> {
     match (platform.vf().domain(), decision) {
         (_, VfDecision::NoChange) => Ok(()),
         (_, VfDecision::Cluster(i)) => platform.try_set_cluster_opp(*i),
@@ -68,7 +71,7 @@ fn apply_decision(platform: &mut Platform, decision: &VfDecision) -> Result<(), 
 /// cores receive nothing). In-place form: `work` must already be sized
 /// to the core count; its previous contents are overwritten — this is
 /// the scratch buffer the frame loop reuses every epoch.
-fn to_work_slices_into(demand: &FrameDemand, work: &mut [WorkSlice]) {
+pub(crate) fn to_work_slices_into(demand: &FrameDemand, work: &mut [WorkSlice]) {
     work.fill(WorkSlice::IDLE);
     let cores = work.len();
     for (i, t) in demand.threads.iter().enumerate() {
@@ -177,7 +180,7 @@ pub fn run_experiment(
 /// leaves the application reset, and returns the probed frame (debug
 /// builds only) so [`debug_assert_no_run_state_bleed`] can re-check it
 /// after the run.
-fn debug_probe_reset_determinism(app: &mut dyn Application) -> Option<FrameDemand> {
+pub(crate) fn debug_probe_reset_determinism(app: &mut dyn Application) -> Option<FrameDemand> {
     if cfg!(debug_assertions) && app.frames() > 0 {
         let first = app.next_frame();
         app.reset();
@@ -206,7 +209,7 @@ fn debug_probe_reset_determinism(app: &mut dyn Application) -> Option<FrameDeman
 /// (a sweep aggregating such an app would depend on cell scheduling).
 /// Leaves the application where the release path leaves it: advanced
 /// by `total` frames.
-fn debug_assert_no_run_state_bleed(
+pub(crate) fn debug_assert_no_run_state_bleed(
     app: &mut dyn Application,
     pristine_first: Option<&FrameDemand>,
     total: u64,

@@ -1,0 +1,288 @@
+//! The many-core experiment loop: chip-level coordinator ×
+//! application × topology → per-cluster reports.
+//!
+//! [`run_manycore_experiment`] is the multi-cluster sibling of
+//! [`crate::harness::run_experiment`]: one [`ManyCoreGovernor`] drives
+//! one [`Application`] on a freshly built [`ManyCorePlatform`]. Each
+//! epoch the frame's demand is split across clusters by the
+//! coordinator's work-share vector
+//! ([`split_demand_into`]), every
+//! cluster runs its slice to the chip-wide frame barrier, and the
+//! coordinator observes all per-cluster
+//! [`FrameResult`](qgov_sim::FrameResult)s at once — the
+//! seam where per-cluster Q-agents learn frequencies and the migration
+//! policy rebalances placement.
+//!
+//! # Bit-identity bridge
+//!
+//! On a 1-cluster [`Topology`] with the whole share on that cluster,
+//! the split is thread-preserving and the cluster steps through the
+//! *unchanged* single-cluster [`Platform`](qgov_sim::Platform) kernel,
+//! so this loop reproduces [`run_experiment`](crate::run_experiment)
+//! frame-for-frame, bit-for-bit (`tests/harness_golden.rs` pins it).
+//!
+//! ```
+//! use qgov_bench::manycore::run_manycore_experiment;
+//! use qgov_governors::PerClusterGovernors;
+//! use qgov_sim::{PlatformConfig, Topology};
+//! use qgov_units::{Cycles, SimTime};
+//! use qgov_workloads::SyntheticWorkload;
+//!
+//! let topology = Topology::homogeneous_mesh(2, PlatformConfig::odroid_xu3_a15());
+//! let mut gov = PerClusterGovernors::performance(2);
+//! let mut app = SyntheticWorkload::constant(
+//!     "demo", Cycles::from_mcycles(80), SimTime::from_ms(40), 30, 8, 0,
+//! );
+//! let outcome = run_manycore_experiment(&mut gov, &mut app, topology, 30, &[0.5, 0.5]);
+//! assert_eq!(outcome.report.frames(), 30);
+//! assert_eq!(outcome.cluster_reports.len(), 2);
+//! assert_eq!(outcome.report.deadline_misses(), 0);
+//! ```
+
+use crate::harness::{
+    apply_decision, debug_assert_no_run_state_bleed, debug_probe_reset_determinism,
+    to_work_slices_into,
+};
+use qgov_governors::{GovernorContext, ManyCoreGovernor, ManyCoreObservation, VfDecision};
+use qgov_metrics::RunReport;
+use qgov_sim::{ManyCoreFrameResult, ManyCorePlatform, Topology, WorkSlice};
+use qgov_workloads::{split_demand_into, Application, FrameDemand};
+
+/// Everything a finished many-core run yields: the chip-level report,
+/// one report per cluster, the platform in its final state, and the
+/// final work-share vector.
+#[derive(Debug)]
+pub struct ManyCoreOutcome {
+    /// Chip-level metrics: per-frame values are the barrier aggregates
+    /// (slowest cluster's frame time, summed energy); the recorded OPP
+    /// index is cluster 0's (a multi-cluster chip has no single OPP).
+    pub report: RunReport,
+    /// Per-cluster metrics, indexed like the topology. Frame times and
+    /// deadlines are each cluster's own; run totals (energy,
+    /// transitions, peak temperature) are per-cluster too.
+    pub cluster_reports: Vec<RunReport>,
+    /// The platform after the run.
+    pub platform: ManyCorePlatform,
+    /// The work-share vector after the last epoch (what migration
+    /// converged to).
+    pub shares: Vec<f64>,
+}
+
+/// Runs `coordinator` against `app` for `frames` epochs (capped at the
+/// application's own length) on a chip built from `topology`, starting
+/// from the `initial_shares` placement.
+///
+/// The loop per decision epoch:
+/// 1. split the frame's demand across clusters by the current share
+///    vector and execute every slice to the chip-wide barrier;
+/// 2. record chip-level and per-cluster metrics;
+/// 3. let the coordinator observe all per-cluster frame results,
+///    decide each cluster's next operating point, and rebalance the
+///    share vector (task migration);
+/// 4. charge each cluster its own processing overhead and V-F
+///    transition latency.
+///
+/// Steady state is allocation-free: the demand slots, work-slice
+/// buffers, frame result, decision vector and share vector are all
+/// reused across epochs (`tests/alloc_steady_state.rs` pins the
+/// single-cluster path of the same kernels).
+///
+/// # Panics
+///
+/// Panics if the topology is invalid, `initial_shares` is not one
+/// share per cluster, or a decision is out of range — programming
+/// errors in the experiment setup. Debug builds additionally panic if
+/// the application does not rewind deterministically on `reset()`.
+pub fn run_manycore_experiment(
+    coordinator: &mut dyn ManyCoreGovernor,
+    app: &mut dyn Application,
+    topology: Topology,
+    frames: u64,
+    initial_shares: &[f64],
+) -> ManyCoreOutcome {
+    let mut chip = ManyCorePlatform::new(topology).expect("valid topology");
+    let n = chip.cluster_count();
+    assert_eq!(initial_shares.len(), n, "one initial share per cluster");
+    let period = app.period();
+
+    let cores: Vec<usize> = (0..n).map(|c| chip.cores(c)).collect();
+    let ctxs: Vec<GovernorContext> = (0..n)
+        .map(|c| GovernorContext::new(chip.opp_table(c).clone(), cores[c], period))
+        .collect();
+
+    app.reset();
+    let pristine_first = debug_probe_reset_determinism(app);
+    let mut decisions: Vec<VfDecision> = Vec::with_capacity(n);
+    coordinator.init(&ctxs, &mut decisions);
+    assert_eq!(decisions.len(), n, "one initial decision per cluster");
+    for (c, decision) in decisions.iter().enumerate() {
+        apply_decision(chip.cluster_mut(c), decision).expect("initial decision in range");
+    }
+
+    let total = frames.min(app.frames());
+    let mut report = RunReport::new(coordinator.name(), app.name(), period);
+    report.reserve_frames(usize::try_from(total).unwrap_or(usize::MAX));
+    let mut cluster_reports: Vec<RunReport> = (0..n)
+        .map(|c| {
+            let mut r = RunReport::new(coordinator.name(), chip.cluster_name(c), period);
+            r.reserve_frames(usize::try_from(total).unwrap_or(usize::MAX));
+            r
+        })
+        .collect();
+
+    let mut shares = initial_shares.to_vec();
+    let mut demand = FrameDemand::default();
+    let mut cluster_demands = vec![FrameDemand::default(); n];
+    let mut work: Vec<Vec<WorkSlice>> = cores.iter().map(|&k| vec![WorkSlice::IDLE; k]).collect();
+    let mut frame = ManyCoreFrameResult::empty();
+
+    for epoch in 0..total {
+        app.next_frame_into(&mut demand);
+        split_demand_into(&demand, &shares, &cores, &mut cluster_demands);
+        for (slices, slice_demand) in work.iter_mut().zip(&cluster_demands) {
+            to_work_slices_into(slice_demand, slices);
+        }
+        chip.run_frame_into(&work, period, &mut frame)
+            .expect("work buffers sized to the topology");
+        report.record_frame(
+            frame.frame_time,
+            frame.wall_time,
+            frame.energy,
+            frame.clusters[0].cluster_opp,
+            frame.met_deadline(),
+        );
+        for (c, cluster_report) in cluster_reports.iter_mut().enumerate() {
+            let f = &frame.clusters[c];
+            cluster_report.record_frame(
+                f.frame_time,
+                f.wall_time,
+                f.energy,
+                f.cluster_opp,
+                f.met_deadline(),
+            );
+        }
+        coordinator.decide_into(
+            &ManyCoreObservation {
+                frames: &frame.clusters,
+                epoch,
+            },
+            &mut decisions,
+            &mut shares,
+        );
+        assert_eq!(decisions.len(), n, "one decision per cluster");
+        for (c, decision) in decisions.iter().enumerate() {
+            apply_decision(chip.cluster_mut(c), decision).expect("decision in range");
+            chip.add_overhead(c, coordinator.processing_overhead(c));
+        }
+    }
+
+    report.set_run_totals(
+        chip.total_energy(),
+        chip.total_transitions(),
+        chip.total_transition_latency(),
+        chip.peak_temperature(),
+    );
+    for (c, cluster_report) in cluster_reports.iter_mut().enumerate() {
+        let cluster = chip.cluster(c);
+        cluster_report.set_run_totals(
+            cluster.total_energy(),
+            cluster.vf().transitions(),
+            cluster.vf().total_latency(),
+            cluster.peak_temperature(),
+        );
+    }
+    debug_assert_no_run_state_bleed(app, pristine_first.as_ref(), total);
+    ManyCoreOutcome {
+        report,
+        cluster_reports,
+        platform: chip,
+        shares,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_experiment;
+    use qgov_core::ManyCoreRtm;
+    use qgov_governors::{OndemandGovernor, PerClusterGovernors};
+    use qgov_sim::{PlatformConfig, SensorConfig};
+    use qgov_units::{Cycles, SimTime};
+    use qgov_workloads::SyntheticWorkload;
+
+    fn quiet_config() -> PlatformConfig {
+        PlatformConfig {
+            sensor: SensorConfig::ideal(),
+            ..PlatformConfig::odroid_xu3_a15()
+        }
+    }
+
+    fn medium_app(frames: u64, threads: usize) -> SyntheticWorkload {
+        SyntheticWorkload::constant(
+            "medium",
+            Cycles::from_mcycles(100),
+            SimTime::from_ms(40),
+            frames,
+            threads,
+            3,
+        )
+    }
+
+    #[test]
+    fn single_cluster_run_is_bit_identical_to_the_flat_harness() {
+        let mut flat_gov = OndemandGovernor::linux_default();
+        let flat = run_experiment(&mut flat_gov, &mut medium_app(60, 4), quiet_config(), 60);
+
+        let mut chip_gov = PerClusterGovernors::new(
+            "ondemand",
+            vec![Box::new(OndemandGovernor::linux_default())],
+        );
+        let chip = run_manycore_experiment(
+            &mut chip_gov,
+            &mut medium_app(60, 4),
+            Topology::single(quiet_config()),
+            60,
+            &[1.0],
+        );
+
+        assert_eq!(flat.report, chip.report);
+        assert_eq!(
+            flat.report.total_energy().as_joules().to_bits(),
+            chip.cluster_reports[0].total_energy().as_joules().to_bits()
+        );
+        assert_eq!(chip.shares, vec![1.0]);
+    }
+
+    #[test]
+    fn two_cluster_split_meets_what_one_cluster_can_also_meet() {
+        let topology = Topology::homogeneous_mesh(2, quiet_config());
+        let mut gov = PerClusterGovernors::performance(2);
+        let outcome =
+            run_manycore_experiment(&mut gov, &mut medium_app(40, 8), topology, 40, &[0.5, 0.5]);
+        assert_eq!(outcome.report.deadline_misses(), 0);
+        assert_eq!(outcome.cluster_reports.len(), 2);
+        // Both clusters carried work and report energy.
+        for r in &outcome.cluster_reports {
+            assert!(r.total_energy().as_joules() > 0.0);
+        }
+        // Chip energy is the sum of the cluster energies.
+        let sum: f64 = outcome
+            .cluster_reports
+            .iter()
+            .map(|r| r.total_energy().as_joules())
+            .sum();
+        assert!((outcome.report.total_energy().as_joules() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learned_coordinator_runs_and_may_migrate() {
+        let topology = Topology::odroid_xu3_biglittle();
+        let mut rtm = ManyCoreRtm::paper(42, 2, (1e7, 5e8)).unwrap();
+        let outcome =
+            run_manycore_experiment(&mut rtm, &mut medium_app(80, 8), topology, 80, &[0.6, 0.4]);
+        assert_eq!(outcome.report.frames(), 80);
+        let share_sum: f64 = outcome.shares.iter().sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "{:?}", outcome.shares);
+        assert!(outcome.shares.iter().all(|s| *s >= 0.0));
+    }
+}

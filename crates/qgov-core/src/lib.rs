@@ -38,11 +38,15 @@
 #![warn(missing_docs)]
 
 mod config;
+mod manycore;
+mod migration;
 mod overhead;
 mod rtm;
 mod state;
 
 pub use config::{ExplorationKind, HistoryMode, RtmConfig, StateKind};
+pub use manycore::ManyCoreRtm;
+pub use migration::{GreedyMigration, MigrationConfig};
 pub use overhead::OverheadModel;
 pub use rtm::{EpochRecord, RtmGovernor};
 pub use state::StateMapper;

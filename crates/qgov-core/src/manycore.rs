@@ -1,0 +1,160 @@
+//! The chip-level RTM: one Q-agent per cluster plus greedy migration.
+//!
+//! The paper's RTM governs one V-F island. On a heterogeneous topology
+//! each cluster gets its own [`RtmGovernor`] — same `StateMapper`
+//! semantics, per-cluster Q-table sized to that cluster's own OPP
+//! count — and a [`GreedyMigration`] policy rebalances the work shares
+//! between clusters at epoch boundaries. Learning *what frequency to
+//! run* stays per-cluster and model-free; *where work runs* is steered
+//! by observed slack, temperature, and energy-per-cycle.
+
+use crate::{GreedyMigration, MigrationConfig, RtmConfig, RtmGovernor};
+use qgov_governors::{
+    EpochObservation, Governor, GovernorContext, ManyCoreGovernor, ManyCoreObservation, VfDecision,
+};
+use qgov_rl::RlError;
+use qgov_units::SimTime;
+
+/// One Q-learning agent per cluster, coordinated by greedy task
+/// migration — the learned-placement contender of the big.LITTLE and
+/// mesh experiments.
+#[derive(Debug)]
+pub struct ManyCoreRtm {
+    agents: Vec<RtmGovernor>,
+    migration: GreedyMigration,
+}
+
+impl ManyCoreRtm {
+    /// Builds one agent per configuration (cluster `c` runs
+    /// `configs[c]`) with the given migration policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError`] if any per-cluster configuration is invalid,
+    /// or [`RlError::EmptyDimension`] if `configs` is empty.
+    pub fn new(configs: Vec<RtmConfig>, migration: MigrationConfig) -> Result<Self, RlError> {
+        if configs.is_empty() {
+            return Err(RlError::EmptyDimension { name: "clusters" });
+        }
+        let agents = configs
+            .into_iter()
+            .map(RtmGovernor::new)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ManyCoreRtm {
+            agents,
+            migration: GreedyMigration::new(migration),
+        })
+    }
+
+    /// The paper's configuration on every cluster, with per-cluster
+    /// decorrelated exploration seeds (`seed + c`), shared workload
+    /// bounds, and the default greedy migration policy.
+    ///
+    /// The bounds should span the *chip-level* demand range: every
+    /// cluster sees a migrating fraction of the total, so each agent's
+    /// state mapper is given `(min × 0.05, max)` to keep small shares
+    /// on-grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError`] as for [`new`](ManyCoreRtm::new).
+    pub fn paper(seed: u64, clusters: usize, bounds: (f64, f64)) -> Result<Self, RlError> {
+        let configs = (0..clusters)
+            .map(|c| {
+                RtmConfig::paper(seed.wrapping_add(c as u64))
+                    .with_workload_bounds((bounds.0 * 0.05).max(1.0), bounds.1)
+            })
+            .collect();
+        Self::new(configs, MigrationConfig::greedy())
+    }
+
+    /// The agent governing one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    #[must_use]
+    pub fn agent(&self, cluster: usize) -> &RtmGovernor {
+        &self.agents[cluster]
+    }
+
+    /// Number of per-cluster agents.
+    #[must_use]
+    pub fn clusters(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Share moves performed by the migration policy so far.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migration.migrations()
+    }
+}
+
+impl ManyCoreGovernor for ManyCoreRtm {
+    fn name(&self) -> &str {
+        "rtm-migrate"
+    }
+
+    fn init(&mut self, ctxs: &[GovernorContext], decisions: &mut Vec<VfDecision>) {
+        assert_eq!(ctxs.len(), self.agents.len(), "one context per cluster");
+        decisions.clear();
+        for (agent, ctx) in self.agents.iter_mut().zip(ctxs) {
+            decisions.push(agent.init(ctx));
+        }
+    }
+
+    fn decide_into(
+        &mut self,
+        obs: &ManyCoreObservation<'_>,
+        decisions: &mut Vec<VfDecision>,
+        shares: &mut [f64],
+    ) {
+        decisions.clear();
+        for (cluster, agent) in self.agents.iter_mut().enumerate() {
+            decisions.push(agent.decide(&EpochObservation {
+                frame: &obs.frames[cluster],
+                epoch: obs.epoch,
+            }));
+        }
+        self.migration.rebalance(obs.frames, shares);
+    }
+
+    fn processing_overhead(&self, cluster: usize) -> SimTime {
+        self.agents[cluster].processing_overhead()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgov_sim::OppTable;
+
+    #[test]
+    fn builds_one_agent_per_cluster() {
+        let rtm = ManyCoreRtm::paper(42, 2, (1e7, 1e9)).unwrap();
+        assert_eq!(rtm.clusters(), 2);
+        assert_eq!(rtm.migrations(), 0);
+        assert!(ManyCoreRtm::new(Vec::new(), MigrationConfig::greedy()).is_err());
+    }
+
+    #[test]
+    fn init_sizes_each_agent_to_its_cluster_action_space() {
+        let mut rtm = ManyCoreRtm::paper(7, 2, (1e7, 1e9)).unwrap();
+        let ctxs = vec![
+            GovernorContext::new(OppTable::odroid_xu3_a15(), 4, SimTime::from_ms(40)),
+            GovernorContext::new(OppTable::odroid_xu3_a7(), 4, SimTime::from_ms(40)),
+        ];
+        let mut decisions = Vec::new();
+        rtm.init(&ctxs, &mut decisions);
+        assert_eq!(decisions.len(), 2);
+        for (d, table) in decisions.iter().zip([19usize, 13]) {
+            match d {
+                VfDecision::Cluster(i) => assert!(*i < table),
+                other => panic!("unexpected decision {other:?}"),
+            }
+        }
+        // Decorrelated exploration seeds per cluster.
+        assert!(rtm.agent(0).processing_overhead() > SimTime::ZERO);
+    }
+}

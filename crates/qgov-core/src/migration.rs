@@ -1,0 +1,280 @@
+//! Greedy slack/temperature-driven task migration between clusters.
+//!
+//! At each epoch boundary the chip-level coordinator may move a small
+//! fraction of the application's work share from one cluster to another.
+//! The policy here is deliberately simple and deterministic — the
+//! learned intelligence stays in the per-cluster Q-agents, and migration
+//! only steers *where* work lands:
+//!
+//! 1. **Deadline rescue.** If some cluster is missing (or about to
+//!    miss) its deadline, shed a share step from the worst-slack
+//!    cluster onto the best-slack cluster that is thermally safe.
+//! 2. **Energy consolidation.** Once every cluster has comfortable
+//!    slack, drift work from the least energy-efficient cluster
+//!    (highest observed J/cycle) towards the most efficient one that
+//!    still has slack headroom and thermal margin — on a big.LITTLE
+//!    part this is what moves steady work onto the LITTLE cores.
+//!
+//! Both moves are bounded by a per-epoch share step, tie-break on the
+//! lowest cluster index, and never touch the heap.
+
+use qgov_sim::FrameResult;
+use qgov_units::Temp;
+
+/// Tuning knobs for [`GreedyMigration`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationConfig {
+    /// Fraction of the total work share moved per migration (0 < step ≤ 1).
+    pub step: f64,
+    /// A cluster only receives work while below this die temperature.
+    pub temp_cap: Temp,
+    /// A cluster with frame slack below this donates work (deadline
+    /// rescue); a rescue receiver must sit above it.
+    pub slack_floor: f64,
+    /// Energy consolidation only runs while every active cluster's
+    /// slack exceeds this guard, and only towards receivers that keep
+    /// exceeding it.
+    pub guard_slack: f64,
+    /// Consolidation hysteresis: the donor's J/cycle must exceed the
+    /// receiver's by this relative margin before work moves.
+    pub hysteresis: f64,
+}
+
+impl MigrationConfig {
+    /// The defaults used by the big.LITTLE experiments: 5 % share
+    /// steps, an 85 °C receive cap, rescue below 2 % slack, consolidate
+    /// only into ≥ 15 % slack, 10 % efficiency hysteresis.
+    #[must_use]
+    pub fn greedy() -> Self {
+        MigrationConfig {
+            step: 0.05,
+            temp_cap: Temp::from_celsius(85.0),
+            slack_floor: 0.02,
+            guard_slack: 0.15,
+            hysteresis: 0.10,
+        }
+    }
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        Self::greedy()
+    }
+}
+
+/// The greedy migration policy: inspects each epoch's per-cluster
+/// [`FrameResult`]s and nudges the work-share vector.
+#[derive(Debug, Clone)]
+pub struct GreedyMigration {
+    config: MigrationConfig,
+    migrations: u64,
+}
+
+impl GreedyMigration {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new(config: MigrationConfig) -> Self {
+        GreedyMigration {
+            config,
+            migrations: 0,
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &MigrationConfig {
+        &self.config
+    }
+
+    /// Number of share moves performed so far.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Rebalances `shares` from this epoch's per-cluster results.
+    /// Returns `true` if a share step moved. `frames` and `shares` are
+    /// indexed by cluster; shares stay non-negative and their sum is
+    /// preserved.
+    pub fn rebalance(&mut self, frames: &[FrameResult], shares: &mut [f64]) -> bool {
+        let n = frames.len().min(shares.len());
+        if n < 2 {
+            return false;
+        }
+
+        if let Some((donor, receiver)) = self.rescue_pair(&frames[..n], &shares[..n]) {
+            return self.transfer(shares, donor, receiver);
+        }
+        if let Some((donor, receiver)) = self.consolidation_pair(&frames[..n], &shares[..n]) {
+            return self.transfer(shares, donor, receiver);
+        }
+        false
+    }
+
+    /// Deadline rescue: worst-slack active cluster below the floor
+    /// donates to the best-slack thermally-safe cluster above it.
+    fn rescue_pair(&self, frames: &[FrameResult], shares: &[f64]) -> Option<(usize, usize)> {
+        let mut donor: Option<usize> = None;
+        for (c, frame) in frames.iter().enumerate() {
+            if shares[c] <= 0.0 || frame.frame_slack() >= self.config.slack_floor {
+                continue;
+            }
+            if donor.is_none_or(|d| frame.frame_slack() < frames[d].frame_slack()) {
+                donor = Some(c);
+            }
+        }
+        let donor = donor?;
+
+        let mut receiver: Option<usize> = None;
+        for (c, frame) in frames.iter().enumerate() {
+            if c == donor
+                || frame.frame_slack() <= self.config.slack_floor
+                || frame.temperature >= self.config.temp_cap
+            {
+                continue;
+            }
+            if receiver.is_none_or(|r| frame.frame_slack() > frames[r].frame_slack()) {
+                receiver = Some(c);
+            }
+        }
+        receiver.map(|r| (donor, r))
+    }
+
+    /// Energy consolidation: while every active cluster has slack above
+    /// the guard, the worst-J/cycle cluster donates to the best one
+    /// with thermal margin and slack headroom.
+    fn consolidation_pair(&self, frames: &[FrameResult], shares: &[f64]) -> Option<(usize, usize)> {
+        for (c, frame) in frames.iter().enumerate() {
+            if shares[c] > 0.0 && frame.frame_slack() < self.config.guard_slack {
+                return None;
+            }
+        }
+
+        let mut donor: Option<(usize, f64)> = None;
+        let mut receiver: Option<(usize, f64)> = None;
+        for (c, frame) in frames.iter().enumerate() {
+            let cycles = frame.total_cycles().count() as f64;
+            if cycles <= 0.0 {
+                continue;
+            }
+            let cost = frame.energy.as_joules() / cycles;
+            if shares[c] > 0.0 && donor.is_none_or(|(_, worst)| cost > worst) {
+                donor = Some((c, cost));
+            }
+            if frame.frame_slack() > self.config.guard_slack
+                && frame.temperature < self.config.temp_cap
+                && receiver.is_none_or(|(_, best)| cost < best)
+            {
+                receiver = Some((c, cost));
+            }
+        }
+        let (donor, donor_cost) = donor?;
+        let (receiver, receiver_cost) = receiver?;
+        if receiver == donor || donor_cost <= receiver_cost * (1.0 + self.config.hysteresis) {
+            return None;
+        }
+        Some((donor, receiver))
+    }
+
+    fn transfer(&mut self, shares: &mut [f64], donor: usize, receiver: usize) -> bool {
+        let delta = self.config.step.min(shares[donor]);
+        if delta <= 0.0 {
+            return false;
+        }
+        shares[donor] -= delta;
+        shares[receiver] += delta;
+        self.migrations += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgov_units::{Energy, SimTime};
+
+    fn frame(slack: f64, joules_per_cycle: f64, temp_c: f64) -> FrameResult {
+        let period = SimTime::from_ms(40);
+        let mut f = FrameResult::empty();
+        f.period = period;
+        f.frame_time = SimTime::from_secs_f64(period.as_secs_f64() * (1.0 - slack));
+        f.per_core_cycles = vec![qgov_units::Cycles::new(1_000_000)];
+        f.energy = Energy::from_joules(joules_per_cycle * 1_000_000.0);
+        f.temperature = Temp::from_celsius(temp_c);
+        f
+    }
+
+    #[test]
+    fn rescue_moves_share_from_missing_to_slack_cluster() {
+        let mut policy = GreedyMigration::new(MigrationConfig::greedy());
+        let frames = [frame(-0.2, 1e-9, 60.0), frame(0.5, 1e-9, 60.0)];
+        let mut shares = [0.5, 0.5];
+        assert!(policy.rebalance(&frames, &mut shares));
+        assert!((shares[0] - 0.45).abs() < 1e-12);
+        assert!((shares[1] - 0.55).abs() < 1e-12);
+        assert_eq!(policy.migrations(), 1);
+    }
+
+    #[test]
+    fn rescue_respects_the_thermal_cap() {
+        let mut policy = GreedyMigration::new(MigrationConfig::greedy());
+        let frames = [frame(-0.2, 1e-9, 60.0), frame(0.5, 1e-9, 95.0)];
+        let mut shares = [0.5, 0.5];
+        assert!(!policy.rebalance(&frames, &mut shares));
+        assert_eq!(shares, [0.5, 0.5]);
+    }
+
+    #[test]
+    fn consolidation_drifts_work_to_the_efficient_cluster() {
+        let mut policy = GreedyMigration::new(MigrationConfig::greedy());
+        // Both comfortably slack; cluster 0 burns 4x the J/cycle.
+        let frames = [frame(0.4, 4e-9, 60.0), frame(0.4, 1e-9, 60.0)];
+        let mut shares = [0.6, 0.4];
+        assert!(policy.rebalance(&frames, &mut shares));
+        assert!((shares[0] - 0.55).abs() < 1e-12);
+        assert!((shares[1] - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consolidation_waits_for_slack_everywhere() {
+        let mut policy = GreedyMigration::new(MigrationConfig::greedy());
+        // Cluster 1 is efficient but tight on slack: nothing moves.
+        let frames = [frame(0.4, 4e-9, 60.0), frame(0.05, 1e-9, 60.0)];
+        let mut shares = [0.6, 0.4];
+        assert!(!policy.rebalance(&frames, &mut shares));
+    }
+
+    #[test]
+    fn hysteresis_blocks_near_tie_shuffling() {
+        let mut policy = GreedyMigration::new(MigrationConfig::greedy());
+        let frames = [frame(0.4, 1.05e-9, 60.0), frame(0.4, 1e-9, 60.0)];
+        let mut shares = [0.5, 0.5];
+        assert!(!policy.rebalance(&frames, &mut shares));
+    }
+
+    #[test]
+    fn shares_stay_normalised_and_non_negative() {
+        let mut policy = GreedyMigration::new(MigrationConfig {
+            step: 0.3,
+            ..MigrationConfig::greedy()
+        });
+        let frames = [frame(-0.5, 1e-9, 60.0), frame(0.6, 1e-9, 60.0)];
+        let mut shares = [0.1, 0.9];
+        // Donor only has 0.1 to give: the step clamps.
+        assert!(policy.rebalance(&frames, &mut shares));
+        assert!((shares[0] - 0.0).abs() < 1e-12);
+        assert!((shares[1] - 1.0).abs() < 1e-12);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Fully drained: nothing left to donate.
+        assert!(!policy.rebalance(&frames, &mut shares));
+    }
+
+    #[test]
+    fn single_cluster_never_migrates() {
+        let mut policy = GreedyMigration::new(MigrationConfig::greedy());
+        let frames = [frame(-0.5, 1e-9, 60.0)];
+        let mut shares = [1.0];
+        assert!(!policy.rebalance(&frames, &mut shares));
+        assert_eq!(policy.migrations(), 0);
+    }
+}

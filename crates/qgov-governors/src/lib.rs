@@ -38,6 +38,7 @@
 
 mod conservative;
 mod ge_qiu;
+mod multi;
 mod ondemand;
 mod oracle;
 mod schedutil;
@@ -47,6 +48,7 @@ mod traits;
 
 pub use conservative::ConservativeGovernor;
 pub use ge_qiu::{GeQiuConfig, GeQiuGovernor};
+pub use multi::{ManyCoreGovernor, ManyCoreObservation, PerClusterGovernors};
 pub use ondemand::OndemandGovernor;
 pub use oracle::OracleGovernor;
 pub use schedutil::SchedutilGovernor;

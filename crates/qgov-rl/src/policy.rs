@@ -311,15 +311,36 @@ impl SoftmaxPolicy {
 }
 
 impl ExplorationPolicy for SoftmaxPolicy {
+    /// Allocation-free selection: like [`EpdPolicy::select`], the
+    /// Boltzmann weights are recomputed on the fly in two passes (sum,
+    /// then walk) instead of being materialised into a vector. The
+    /// per-weight expression, summation order and walk order are
+    /// identical to collecting `exp((q − max)/τ)` and calling
+    /// [`sample_weighted`], so selections are bit-for-bit the same
+    /// while the steady-state decision epoch stays heap-free.
     fn select(&self, ctx: &ActionContext<'_>, rng: &mut dyn RngCore) -> usize {
-        // Subtract the max for numerical stability.
+        // Subtract the max for numerical stability: weights land in
+        // (0, 1] and their total in [1, n] for finite Q-values.
         let max_q = ctx.q_row.iter().copied().fold(f64::MIN, f64::max);
-        let weights: Vec<f64> = ctx
-            .q_row
-            .iter()
-            .map(|&q| ((q - max_q) / self.temperature).exp())
-            .collect();
-        sample_weighted(&weights, rng)
+        let weight_at = |q: f64| ((q - max_q) / self.temperature).exp();
+        let mut total = 0.0f64;
+        for &q in ctx.q_row {
+            total += weight_at(q);
+        }
+        if total <= 0.0 || !total.is_finite() {
+            // `sample_weighted`'s degenerate-total fallback (reachable
+            // only through non-finite Q-values), preserved bit-for-bit.
+            return (rng.next_u64() % ctx.actions() as u64) as usize;
+        }
+        let mut target = uniform_f64(rng) * total;
+        for (i, &q) in ctx.q_row.iter().enumerate() {
+            let w = weight_at(q);
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        ctx.actions() - 1 // float round-off: last index
     }
 
     fn name(&self) -> &'static str {
@@ -457,6 +478,29 @@ mod tests {
                 let reference = sample_weighted(&weights, &mut rng_b);
                 assert_eq!(fused, reference, "slack {slack}");
             }
+        }
+    }
+
+    #[test]
+    fn softmax_on_the_fly_select_matches_materialised_weights() {
+        // The allocation-free two-pass select must be bit-identical to
+        // sampling the materialised Boltzmann weights under the same
+        // RNG stream.
+        let policy = SoftmaxPolicy::new(0.4).unwrap();
+        let freqs: Vec<f64> = (2..21).map(|i| f64::from(i) / 10.0).collect();
+        let q: Vec<f64> = (0..19).map(|i| f64::from(i % 7) * 0.31 - 0.8).collect();
+        let ctx = ActionContext::new(&q, &freqs, 0.1);
+        let max_q = q.iter().copied().fold(f64::MIN, f64::max);
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        for _ in 0..500 {
+            let fused = policy.select(&ctx, &mut rng_a);
+            let weights: Vec<f64> = q
+                .iter()
+                .map(|&v| ((v - max_q) / policy.temperature()).exp())
+                .collect();
+            let reference = sample_weighted(&weights, &mut rng_b);
+            assert_eq!(fused, reference);
         }
     }
 

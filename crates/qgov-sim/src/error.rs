@@ -33,6 +33,13 @@ pub enum SimError {
         /// Number of cores.
         cores: usize,
     },
+    /// A cluster index was out of range.
+    ClusterOutOfRange {
+        /// The requested cluster.
+        cluster: usize,
+        /// Number of clusters in the topology.
+        clusters: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -50,6 +57,12 @@ impl fmt::Display for SimError {
             }
             SimError::CoreOutOfRange { core, cores } => {
                 write!(f, "core {core} out of range (platform has {cores})")
+            }
+            SimError::ClusterOutOfRange { cluster, clusters } => {
+                write!(
+                    f,
+                    "cluster {cluster} out of range (topology has {clusters})"
+                )
             }
         }
     }

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod dvfs;
 mod error;
 mod opp;
@@ -55,6 +56,7 @@ mod power;
 mod sensor;
 mod thermal;
 
+pub use cluster::{ClusterConfig, ManyCoreFrameResult, ManyCorePlatform, Topology};
 pub use dvfs::{DvfsConfig, VfController, VfDomain};
 pub use error::SimError;
 pub use opp::{Opp, OppTable};

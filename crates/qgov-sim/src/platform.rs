@@ -101,6 +101,43 @@ impl PlatformConfig {
         }
     }
 
+    /// The ODROID-XU3's companion cluster: four Cortex-A7 LITTLE cores,
+    /// 13 operating points (200–1400 MHz) on a shared V-F rail, INA231
+    /// sensing, the same passive cooling as the big cluster.
+    ///
+    /// Together with [`odroid_xu3_a15`](PlatformConfig::odroid_xu3_a15)
+    /// this completes the board's big.LITTLE pair (see
+    /// `Topology::odroid_xu3_biglittle`).
+    ///
+    /// ```
+    /// use qgov_sim::{Platform, PlatformConfig, WorkSlice};
+    /// use qgov_units::{Cycles, SimTime};
+    ///
+    /// let mut little = Platform::new(PlatformConfig::odroid_xu3_little()).unwrap();
+    /// assert_eq!(little.cores(), 4);
+    /// assert_eq!(little.opp_table().len(), 13); // 200 MHz ..= 1400 MHz
+    ///
+    /// // The A7 finishes the same work later than an A15 would, but
+    /// // dissipates far less power doing it.
+    /// little.set_cluster_opp(little.opp_table().len() - 1);
+    /// let work = vec![WorkSlice::cpu_only(Cycles::from_mcycles(14)); 4];
+    /// let frame = little.run_frame(&work, SimTime::from_ms(40)).unwrap();
+    /// assert_eq!(frame.per_core_busy[0], SimTime::from_ms(10)); // 14 Mc @ 1.4 GHz
+    /// assert!(frame.met_deadline());
+    /// ```
+    #[must_use]
+    pub fn odroid_xu3_little() -> Self {
+        PlatformConfig {
+            cores: 4,
+            opp_table: OppTable::odroid_xu3_a7(),
+            vf_domain: VfDomain::PerCluster,
+            power_model: CmosPowerModel::a7(),
+            dvfs: DvfsConfig::typical(),
+            sensor: SensorConfig::ina231(0xA7),
+            thermal: ThermalConfig::odroid_xu3(),
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

@@ -77,6 +77,7 @@ mod frame;
 mod parsec;
 mod process;
 pub mod shard;
+mod split;
 mod synthetic;
 mod trace;
 mod video;
@@ -97,6 +98,7 @@ pub use frame::{FrameDemand, ThreadDemand};
 pub use parsec::{Phase, PhasedBenchmarkModel};
 pub use process::{Ar1Process, MarkovChain};
 pub use shard::{ScratchDir, ShardWriter, ShardedTrace, TraceShard};
+pub use split::{capacity_shares, split_demand_into};
 pub use synthetic::SyntheticWorkload;
 pub use trace::WorkloadTrace;
 pub use video::{FrameClass, VideoDecoderModel, VideoParams};

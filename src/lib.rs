@@ -67,6 +67,13 @@ pub mod prelude {
         run_table1, run_table1_with, run_table2, run_table2_with, run_table3, run_table3_with,
     };
     pub use qgov_bench::harness::{precharacterize, run_experiment, ExperimentOutcome};
+    pub use qgov_bench::hetero::{
+        run_biglittle, run_biglittle_sweep, run_biglittle_sweep_with, run_biglittle_with,
+        run_mesh_scaling, run_mesh_scaling_sweep, run_mesh_scaling_sweep_with,
+        run_mesh_scaling_with, BigLittleResult, BigLittleRow, BigLittleSweep, BigLittleSweepRow,
+        MeshRow, MeshScalingResult, MeshSweep, MeshSweepRow,
+    };
+    pub use qgov_bench::manycore::{run_manycore_experiment, ManyCoreOutcome};
     pub use qgov_bench::runner::{frames_from_env, ExperimentBatch, RunnerConfig, RunnerMode};
     pub use qgov_bench::sweep::{
         run_fig3_sweep, run_fig3_sweep_with, run_long_horizon_sweep, run_long_horizon_sweep_with,
@@ -77,12 +84,14 @@ pub mod prelude {
         run_table3_sweep_with, Aggregate, SeedSweep,
     };
     pub use qgov_core::{
-        EpochRecord, ExplorationKind, HistoryMode, RtmConfig, RtmGovernor, StateKind,
+        EpochRecord, ExplorationKind, GreedyMigration, HistoryMode, ManyCoreRtm, MigrationConfig,
+        RtmConfig, RtmGovernor, StateKind,
     };
     pub use qgov_governors::{
         ConservativeGovernor, EpochObservation, GeQiuConfig, GeQiuGovernor, Governor,
-        GovernorContext, OndemandGovernor, OracleGovernor, PerformanceGovernor, PowersaveGovernor,
-        SchedutilGovernor, SlackTracker, UserspaceGovernor, VfDecision,
+        GovernorContext, ManyCoreGovernor, ManyCoreObservation, OndemandGovernor, OracleGovernor,
+        PerClusterGovernors, PerformanceGovernor, PowersaveGovernor, SchedutilGovernor,
+        SlackTracker, UserspaceGovernor, VfDecision,
     };
     pub use qgov_metrics::{
         ComparisonTable, MetricSummary, MispredictionStats, OnlineStats, RunReport, SampleStats,
@@ -90,13 +99,14 @@ pub mod prelude {
     };
     pub use qgov_rl::{DecayingEpsilon, EpdPolicy, EwmaPredictor, Predictor, QTable, SlackReward};
     pub use qgov_sim::{
-        DvfsConfig, FrameResult, Opp, OppTable, Platform, PlatformConfig, SensorConfig,
-        ThermalConfig, VfDomain, WorkSlice,
+        ClusterConfig, DvfsConfig, FrameResult, ManyCoreFrameResult, ManyCorePlatform, Opp,
+        OppTable, Platform, PlatformConfig, SensorConfig, ThermalConfig, Topology, VfDomain,
+        WorkSlice,
     };
     pub use qgov_units::{Cycles, Energy, Freq, Power, SimTime, Temp, Volt};
     pub use qgov_workloads::{
-        suites, Application, CompositeWorkload, FftModel, FrameDemand, PhasedBenchmarkModel,
-        ScratchDir, ShardWriter, ShardedTrace, SyntheticWorkload, ThreadDemand, TraceShard,
-        VideoDecoderModel, WorkloadTrace,
+        capacity_shares, split_demand_into, suites, Application, CompositeWorkload, FftModel,
+        FrameDemand, PhasedBenchmarkModel, ScratchDir, ShardWriter, ShardedTrace,
+        SyntheticWorkload, ThreadDemand, TraceShard, VideoDecoderModel, WorkloadTrace,
     };
 }

@@ -176,4 +176,61 @@ fn steady_state_decision_epoch_is_allocation_free() {
     assert_eq!(report.frames(), FRAMES);
     assert_eq!(rtm.history().len(), 64);
     assert!(rtm.exploration_count() > 0);
+
+    // Second phase: the softmax exploration policy. Its fused two-pass
+    // select (like the EPD's) must keep the epoch heap-free while the
+    // ε-floor keeps firing stochastic selections in steady state.
+    let mut config = RtmConfig::paper(43)
+        .with_workload_bounds(1e7, 1e9)
+        .with_history(HistoryMode::LastN(64));
+    config.exploration = ExplorationKind::Softmax { temperature: 0.5 };
+    let mut rtm = RtmGovernor::new(config).expect("valid softmax config");
+    let mut platform = Platform::new(PlatformConfig {
+        sensor: SensorConfig::ideal(),
+        ..PlatformConfig::odroid_xu3_a15()
+    })
+    .expect("valid platform");
+    let first = rtm.init(&ctx);
+    platform.set_cluster_opp(first.resolve_cluster(platform.current_opp()));
+    app.reset();
+
+    let mut report = RunReport::new("rtm-softmax", "steady", SimTime::from_ms(40));
+    report.reserve_frames(FRAMES as usize);
+    for epoch in 0..WARMUP {
+        run_epoch(
+            &mut app,
+            &mut platform,
+            &mut rtm,
+            &mut report,
+            &mut demand,
+            &mut work,
+            &mut frame,
+            epoch,
+        );
+    }
+    let explorations_before = rtm.exploration_count();
+    let before = allocation_count();
+    for epoch in WARMUP..FRAMES {
+        run_epoch(
+            &mut app,
+            &mut platform,
+            &mut rtm,
+            &mut report,
+            &mut demand,
+            &mut work,
+            &mut frame,
+            epoch,
+        );
+    }
+    let allocated = allocation_count() - before;
+    assert_eq!(
+        allocated, 0,
+        "softmax steady-state decision epochs must not allocate \
+         ({allocated} allocations over {MEASURED} epochs)"
+    );
+    // The measured window actually exercised the softmax select path.
+    assert!(
+        rtm.exploration_count() > explorations_before,
+        "the ε floor must keep stochastic softmax selections firing"
+    );
 }

@@ -145,6 +145,115 @@ fn learning_governors_are_bit_identical_to_the_reference_loop() {
     );
 }
 
+/// A single-cluster [`Topology`] routed through the many-core harness
+/// must be bit-identical to the flat single-platform harness: same
+/// work-slice packing, same platform kernel, same governor decisions.
+fn assert_manycore_bridge_identical(
+    flat: &mut dyn Governor,
+    inner: Box<dyn Governor>,
+    frames: u64,
+) {
+    let name = flat.name().to_string();
+    let mut app_flat = noisy_app(frames);
+    let mut app_chip = noisy_app(frames);
+
+    let flat_outcome = run_experiment(flat, &mut app_flat, quiet_config(), frames);
+    let mut coordinator = PerClusterGovernors::new(name.clone(), vec![inner]);
+    let chip_outcome = run_manycore_experiment(
+        &mut coordinator,
+        &mut app_chip,
+        Topology::single(quiet_config()),
+        frames,
+        &[1.0],
+    );
+
+    assert_eq!(
+        chip_outcome.report, flat_outcome.report,
+        "{name}: 1-cluster topology diverged from the flat harness"
+    );
+    assert_eq!(chip_outcome.cluster_reports.len(), 1);
+    assert_eq!(
+        chip_outcome.platform.total_energy().as_joules().to_bits(),
+        flat_outcome.platform.total_energy().as_joules().to_bits(),
+        "{name}: chip energy diverged from the flat platform"
+    );
+    assert_eq!(chip_outcome.shares, vec![1.0]);
+}
+
+#[test]
+fn single_cluster_topology_is_bit_identical_to_the_flat_harness() {
+    assert_manycore_bridge_identical(
+        &mut OndemandGovernor::linux_default(),
+        Box::new(OndemandGovernor::linux_default()),
+        150,
+    );
+    assert_manycore_bridge_identical(
+        &mut ConservativeGovernor::linux_default(),
+        Box::new(ConservativeGovernor::linux_default()),
+        150,
+    );
+    assert_manycore_bridge_identical(
+        &mut PerformanceGovernor::new(),
+        Box::new(PerformanceGovernor::new()),
+        80,
+    );
+    assert_manycore_bridge_identical(
+        &mut PowersaveGovernor::new(),
+        Box::new(PowersaveGovernor::new()),
+        80,
+    );
+    let config = || RtmConfig::paper(7).with_workload_bounds(1e8, 1e9);
+    assert_manycore_bridge_identical(
+        &mut RtmGovernor::new(config()).unwrap(),
+        Box::new(RtmGovernor::new(config()).unwrap()),
+        400,
+    );
+    assert_manycore_bridge_identical(
+        &mut GeQiuGovernor::new(GeQiuConfig::paper(7)),
+        Box::new(GeQiuGovernor::new(GeQiuConfig::paper(7))),
+        300,
+    );
+}
+
+#[test]
+fn single_cluster_trace_replay_matches_the_flat_harness() {
+    // The precharacterised-trace path — the configuration every recorded
+    // experiment uses — through the 1-cluster topology bridge.
+    let mut source = VideoDecoderModel::mpeg4_svga_24fps(3).with_frames(200);
+    let (trace, bounds) = precharacterize(&mut source);
+
+    let mut replay_flat = trace.clone();
+    let mut replay_chip = trace;
+    let config = || RtmConfig::paper(3).with_workload_bounds(bounds.0, bounds.1);
+    let mut flat_rtm = RtmGovernor::new(config()).unwrap();
+
+    let flat_outcome = run_experiment(&mut flat_rtm, &mut replay_flat, quiet_config(), 200);
+    let mut coordinator = PerClusterGovernors::new(
+        flat_rtm.name().to_string(),
+        vec![Box::new(RtmGovernor::new(config()).unwrap())],
+    );
+    let chip_outcome = run_manycore_experiment(
+        &mut coordinator,
+        &mut replay_chip,
+        Topology::single(quiet_config()),
+        200,
+        &[1.0],
+    );
+    assert_eq!(chip_outcome.report, flat_outcome.report);
+    // The per-cluster report is named after the cluster, not the app,
+    // but its telemetry must agree bit-for-bit with the flat run.
+    let cluster = &chip_outcome.cluster_reports[0];
+    assert_eq!(cluster.frames(), flat_outcome.report.frames());
+    assert_eq!(
+        cluster.deadline_misses(),
+        flat_outcome.report.deadline_misses()
+    );
+    assert_eq!(
+        cluster.total_energy().as_joules().to_bits(),
+        flat_outcome.report.total_energy().as_joules().to_bits()
+    );
+}
+
 #[test]
 fn trace_replay_is_bit_identical_to_the_reference_loop() {
     // The trace path exercises `WorkloadTrace::next_frame_into` (the
