@@ -11,10 +11,17 @@
 //! default one per core); `QGOV_SEEDS` the seed sweep (a count or a
 //! comma-separated list; default one seed, matching the recorded
 //! baselines in EXPERIMENTS.md).
+//!
+//! Every run carries the standard temporal property pack
+//! ([`PackConfig::paper`]) as an always-on oracle: the per-seed
+//! verdict table is printed alongside the metrics, and **any violated
+//! property fails the target** — this is CI's monitored long-horizon
+//! smoke (`QGOV_FRAMES=20000`).
 
 use qgov_bench::perf::{append_records, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
-use qgov_bench::sweep::{run_long_horizon_sweep_with, SeedSweep};
+use qgov_bench::sweep::{run_long_horizon_monitored_sweep_with, SeedSweep};
+use qgov_metrics::PackConfig;
 use std::time::Instant;
 
 const TARGET: &str = "long_horizon";
@@ -23,6 +30,7 @@ fn main() {
     let frames = frames_from_env(100_000);
     let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
+    let pack = PackConfig::paper();
     println!("== Long horizon: streamed traces, convergence over time ==");
     println!(
         "   workload: H.264 football model looped to {frames} frames at 15 fps, {}",
@@ -30,7 +38,7 @@ fn main() {
     );
     println!("   runner: {}\n", runner.describe());
     let start = Instant::now();
-    let result = run_long_horizon_sweep_with(&sweep, frames, &runner);
+    let result = run_long_horizon_monitored_sweep_with(&sweep, frames, &runner, &pack);
     let elapsed = start.elapsed();
 
     let first = &result.per_seed[0];
@@ -44,6 +52,34 @@ fn main() {
         result.seeds[0]
     );
     println!("{}", first.windows_table.render());
+
+    // The always-on temporal oracle: print the verdicts for the first
+    // seed, fail the target if any seed's run violated a property.
+    let mut violations = 0usize;
+    for (seed, per_seed) in result.seeds.iter().zip(&result.per_seed) {
+        for row in &per_seed.rows {
+            if let Some(monitor) = &row.monitor {
+                violations += monitor.violation_count();
+                if !monitor.is_clean() {
+                    eprintln!("seed {seed} {}: {}", row.method, monitor.summary());
+                }
+            }
+        }
+    }
+    println!(
+        "\ntemporal properties (seed {}, thermal cap {:.0} °C, miss bound {:.0}% per {}-epoch window):",
+        result.seeds[0], pack.thermal_cap_c, pack.miss_bound * 100.0, pack.miss_window
+    );
+    for row in &first.rows {
+        if let Some(monitor) = &row.monitor {
+            println!("-- {}: {}", row.method, monitor.summary());
+            println!("{}", monitor.render().render());
+        }
+    }
+    assert_eq!(
+        violations, 0,
+        "temporal property violations detected — see stderr above"
+    );
     println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
 
     let mut records = vec![

@@ -25,14 +25,15 @@
 //! assert_eq!(result.rows.len(), 3);
 //! ```
 
-use crate::harness::{precharacterize, run_experiment};
+use crate::harness::{precharacterize, run_experiment, run_experiment_monitored};
 use crate::runner::{ExperimentBatch, RunnerConfig};
 use qgov_core::{HistoryMode, RtmConfig, RtmGovernor, StateKind};
 use qgov_governors::{
-    ConservativeGovernor, GeQiuConfig, GeQiuGovernor, OndemandGovernor, OracleGovernor,
+    ConservativeGovernor, GeQiuConfig, GeQiuGovernor, Governor, OndemandGovernor, OracleGovernor,
 };
 use qgov_metrics::{
-    ComparisonTable, MispredictionStats, RunReport, Series, WindowSummary, WindowedStats,
+    standard_pack, ComparisonTable, MispredictionStats, MonitorReport, PackConfig, RunReport,
+    Series, WindowSummary, WindowedStats,
 };
 use qgov_sim::{OppTable, PlatformConfig};
 use qgov_workloads::shard::ScratchDir;
@@ -975,6 +976,9 @@ pub struct LongHorizonRow {
     pub windowed_miss: Vec<WindowSummary>,
     /// Windowed `Tᵢ/T_ref` folds over the same windows.
     pub windowed_frame_time: Vec<WindowSummary>,
+    /// Temporal-property verdicts, when the run carried the standard
+    /// pack ([`run_long_horizon_monitored_with`]); `None` otherwise.
+    pub monitor: Option<MonitorReport>,
 }
 
 /// The long-horizon experiment bundle.
@@ -1037,6 +1041,39 @@ pub fn run_long_horizon_with(seed: u64, frames: u64, runner: &RunnerConfig) -> L
     long_horizon_assemble(&prep, frames, reports)
 }
 
+/// **Long horizon** with the [standard property pack](standard_pack)
+/// riding along every methodology cell, with the execution policy read
+/// from `QGOV_WORKERS`.
+#[must_use]
+pub fn run_long_horizon_monitored(seed: u64, frames: u64, pack: &PackConfig) -> LongHorizonResult {
+    run_long_horizon_monitored_with(seed, frames, &RunnerConfig::from_env(), pack)
+}
+
+/// [`run_long_horizon_with`] with the standard property pack attached
+/// to every methodology cell: each governor runs under the monitors
+/// [`standard_pack`] builds for its label, and the verdicts surface in
+/// each row's [`monitor`](LongHorizonRow::monitor) field (and in the
+/// underlying [`RunReport`]s). Monitoring never perturbs the runs —
+/// every metric is bit-identical to the unmonitored experiment.
+#[must_use]
+pub fn run_long_horizon_monitored_with(
+    seed: u64,
+    frames: u64,
+    runner: &RunnerConfig,
+    pack: &PackConfig,
+) -> LongHorizonResult {
+    let prep = long_horizon_prepare(seed, frames);
+    let mut batch = ExperimentBatch::new();
+    batch.expand_cells(
+        LONG_HORIZON_LABELS,
+        &[seed],
+        &[frames],
+        |label, seed, frames| long_horizon_cell_with(label, &prep, seed, frames, Some(pack)),
+    );
+    let reports = batch.run(runner);
+    long_horizon_assemble(&prep, frames, reports)
+}
+
 /// The long-horizon comparison's methodology cells, in row order.
 pub(crate) const LONG_HORIZON_LABELS: &[&str] = &["ondemand", "conservative", "rtm"];
 
@@ -1090,27 +1127,40 @@ pub(crate) fn long_horizon_cell(
     seed: u64,
     frames: u64,
 ) -> RunReport {
+    long_horizon_cell_with(label, prep, seed, frames, None)
+}
+
+/// [`long_horizon_cell`] with an optional standard property pack
+/// attached (the pack is built per cell, keyed by the governor label).
+pub(crate) fn long_horizon_cell_with(
+    label: &str,
+    prep: &LongHorizonPrep,
+    seed: u64,
+    frames: u64,
+    pack: Option<&PackConfig>,
+) -> RunReport {
     let config = PlatformConfig::odroid_xu3_a15();
     let mut replay = prep.trace.clone();
-    match label {
-        "ondemand" => {
-            let mut gov = OndemandGovernor::linux_default();
-            run_experiment(&mut gov, &mut replay, config, frames).report
-        }
-        "conservative" => {
-            let mut gov = ConservativeGovernor::linux_default();
-            run_experiment(&mut gov, &mut replay, config, frames).report
-        }
-        "rtm" => {
-            let mut gov = RtmGovernor::new(
+    let mut gov: Box<dyn Governor> = match label {
+        "ondemand" => Box::new(OndemandGovernor::linux_default()),
+        "conservative" => Box::new(ConservativeGovernor::linux_default()),
+        "rtm" => Box::new(
+            RtmGovernor::new(
                 RtmConfig::paper(seed)
                     .with_workload_bounds(prep.bounds.0, prep.bounds.1)
                     .with_history(HistoryMode::LastN(LONG_HORIZON_HISTORY)),
             )
-            .expect("paper config is valid");
-            run_experiment(&mut gov, &mut replay, config, frames).report
-        }
+            .expect("paper config is valid"),
+        ),
         other => unreachable!("unknown long-horizon cell {other}"),
+    };
+    match pack {
+        Some(cfg) => {
+            let mut monitors = standard_pack(label, cfg);
+            run_experiment_monitored(gov.as_mut(), &mut replay, config, frames, &mut monitors)
+                .report
+        }
+        None => run_experiment(gov.as_mut(), &mut replay, config, frames).report,
     }
 }
 
@@ -1153,6 +1203,7 @@ pub(crate) fn long_horizon_assemble(
                 late_miss_rate: windowed_miss.last().map_or(0.0, |w| w.mean),
                 windowed_miss,
                 windowed_frame_time,
+                monitor: report.monitor_report().cloned(),
             }
         })
         .collect();

@@ -28,7 +28,7 @@
 //! ```
 
 use qgov_governors::{EpochObservation, Governor, GovernorContext, VfDecision};
-use qgov_metrics::RunReport;
+use qgov_metrics::{MonitorSample, PropertySet, RunReport};
 use qgov_sim::{FrameResult, Platform, PlatformConfig, SimError, VfDomain, WorkSlice};
 use qgov_workloads::{Application, FrameDemand, WorkloadTrace};
 
@@ -120,6 +120,41 @@ pub fn run_experiment(
     platform_config: PlatformConfig,
     frames: u64,
 ) -> ExperimentOutcome {
+    run_experiment_inner(governor, app, platform_config, frames, None)
+}
+
+/// [`run_experiment`] with a streaming temporal-property monitor riding
+/// along: after every epoch's decision the loop fills one
+/// [`MonitorSample`] in place (frame timing, OPP, temperature, energy,
+/// plus the governor's ε/convergence state via
+/// [`Governor::exploration_epsilon`] /
+/// [`Governor::has_converged`]) and feeds it to `monitors`.
+///
+/// Monitoring never perturbs the run — the returned report equals the
+/// unmonitored run's bit-for-bit except for the attached
+/// [`monitor_report`](RunReport::monitor_report) — and adds no heap
+/// allocations to the steady-state epoch (`tests/alloc_steady_state.rs`
+/// pins this). The caller keeps `monitors` for further inspection; the
+/// verdicts at end of run are also folded into the report.
+pub fn run_experiment_monitored(
+    governor: &mut dyn Governor,
+    app: &mut dyn Application,
+    platform_config: PlatformConfig,
+    frames: u64,
+    monitors: &mut PropertySet<MonitorSample>,
+) -> ExperimentOutcome {
+    let mut outcome = run_experiment_inner(governor, app, platform_config, frames, Some(monitors));
+    outcome.report.set_monitor_report(monitors.report());
+    outcome
+}
+
+fn run_experiment_inner(
+    governor: &mut dyn Governor,
+    app: &mut dyn Application,
+    platform_config: PlatformConfig,
+    frames: u64,
+    mut monitors: Option<&mut PropertySet<MonitorSample>>,
+) -> ExperimentOutcome {
     let mut platform = Platform::new(platform_config).expect("valid platform config");
     let period = app.period();
     let cores = platform.cores();
@@ -160,6 +195,20 @@ pub fn run_experiment(
             frame: &frame,
             epoch,
         });
+        if let Some(monitors) = monitors.as_deref_mut() {
+            // Sampled after decide() so ε/convergence reflect this
+            // epoch's selection, matching the RTM's own EpochRecord.
+            monitors.observe(&MonitorSample {
+                epoch,
+                frame_time_ratio: frame.frame_time.ratio(period),
+                met_deadline: frame.met_deadline(),
+                opp: frame.cluster_opp,
+                temperature_c: frame.temperature.as_celsius(),
+                energy_j: frame.energy.as_joules(),
+                epsilon: governor.exploration_epsilon().unwrap_or(f64::NAN),
+                converged: governor.has_converged().unwrap_or(false),
+            });
+        }
         apply_decision(&mut platform, &decision).expect("decision in range");
         platform.add_overhead(governor.processing_overhead());
     }

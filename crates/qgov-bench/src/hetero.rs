@@ -25,15 +25,20 @@
 
 use crate::experiments::TracePrep;
 use crate::harness::precharacterize;
-use crate::manycore::run_manycore_experiment;
+use crate::manycore::{
+    run_manycore_experiment, run_manycore_experiment_monitored, ManyCoreOutcome,
+};
 use crate::runner::{ExperimentBatch, RunnerConfig};
 use crate::sweep::{Aggregate, SeedSweep};
 use qgov_core::{ManyCoreRtm, RtmConfig, RtmGovernor};
-use qgov_governors::{Governor, PerClusterGovernors, PowersaveGovernor};
-use qgov_metrics::{ComparisonTable, MetricSummary, RunReport, SweepFormat, SweepTable};
+use qgov_governors::{Governor, ManyCoreGovernor, PerClusterGovernors, PowersaveGovernor};
+use qgov_metrics::{
+    standard_pack, ComparisonTable, MetricSummary, MonitorReport, PackConfig, RunReport,
+    SweepFormat, SweepTable,
+};
 use qgov_sim::{ClusterConfig, PlatformConfig, Topology};
 use qgov_units::{Cycles, SimTime};
-use qgov_workloads::{capacity_shares, SyntheticWorkload, VideoDecoderModel};
+use qgov_workloads::{capacity_shares, Application, SyntheticWorkload, VideoDecoderModel};
 
 fn fmt2(v: f64) -> String {
     format!("{v:.2}")
@@ -50,6 +55,26 @@ pub(crate) struct ManyCoreCell {
     pub(crate) report: RunReport,
     pub(crate) migrations: u64,
     pub(crate) shares: Vec<f64>,
+}
+
+/// Runs one many-core cell, optionally with the standard temporal
+/// property pack for `label` riding along as a chip-level monitor.
+fn run_cell(
+    gov: &mut dyn ManyCoreGovernor,
+    app: &mut dyn Application,
+    topology: Topology,
+    frames: u64,
+    shares: &[f64],
+    label: &str,
+    pack: Option<&PackConfig>,
+) -> ManyCoreOutcome {
+    match pack {
+        Some(cfg) => {
+            let mut monitors = standard_pack(label, cfg);
+            run_manycore_experiment_monitored(gov, app, topology, frames, shares, &mut monitors)
+        }
+        None => run_manycore_experiment(gov, app, topology, frames, shares),
+    }
 }
 
 /// Per-cluster compute capacities (cores × top frequency in GHz) — the
@@ -100,6 +125,18 @@ pub(crate) fn biglittle_cell(
     seed: u64,
     frames: u64,
 ) -> ManyCoreCell {
+    biglittle_cell_with(label, prep, seed, frames, None)
+}
+
+/// [`biglittle_cell`] with the standard temporal property pack
+/// optionally monitoring the chip-level epoch stream.
+pub(crate) fn biglittle_cell_with(
+    label: &str,
+    prep: &TracePrep,
+    seed: u64,
+    frames: u64,
+    pack: Option<&PackConfig>,
+) -> ManyCoreCell {
     let topology = Topology::odroid_xu3_biglittle();
     let mut replay = prep.trace.clone();
     let rtm = |seed: u64| -> Box<dyn Governor> {
@@ -116,7 +153,15 @@ pub(crate) fn biglittle_cell(
                 "big-only",
                 vec![rtm(seed), Box::new(PowersaveGovernor::new())],
             );
-            let out = run_manycore_experiment(&mut gov, &mut replay, topology, frames, &[1.0, 0.0]);
+            let out = run_cell(
+                &mut gov,
+                &mut replay,
+                topology,
+                frames,
+                &[1.0, 0.0],
+                label,
+                pack,
+            );
             ManyCoreCell {
                 report: out.report,
                 migrations: 0,
@@ -128,7 +173,15 @@ pub(crate) fn biglittle_cell(
                 "little-only",
                 vec![Box::new(PowersaveGovernor::new()), rtm(seed)],
             );
-            let out = run_manycore_experiment(&mut gov, &mut replay, topology, frames, &[0.0, 1.0]);
+            let out = run_cell(
+                &mut gov,
+                &mut replay,
+                topology,
+                frames,
+                &[0.0, 1.0],
+                label,
+                pack,
+            );
             ManyCoreCell {
                 report: out.report,
                 migrations: 0,
@@ -140,7 +193,15 @@ pub(crate) fn biglittle_cell(
             capacity_shares(&cluster_capacities(&topology.clusters), &mut shares);
             let mut gov = ManyCoreRtm::paper(seed, topology.cluster_count(), prep.bounds)
                 .expect("paper config is valid");
-            let out = run_manycore_experiment(&mut gov, &mut replay, topology, frames, &shares);
+            let out = run_cell(
+                &mut gov,
+                &mut replay,
+                topology,
+                frames,
+                &shares,
+                label,
+                pack,
+            );
             ManyCoreCell {
                 report: out.report,
                 migrations: gov.migrations(),
@@ -171,6 +232,9 @@ pub struct BigLittleRow {
     pub migrations: u64,
     /// Final share of the work on the big cluster.
     pub final_big_share: f64,
+    /// Temporal-property verdicts when the run was monitored
+    /// ([`run_biglittle_monitored`]); `None` otherwise.
+    pub monitor: Option<MonitorReport>,
 }
 
 /// The big.LITTLE placement comparison bundle.
@@ -208,6 +272,7 @@ pub(crate) fn biglittle_assemble(cells: Vec<ManyCoreCell>) -> BigLittleResult {
                 energy_per_met_frame: r.total_energy().as_joules() / met as f64,
                 migrations: cell.migrations,
                 final_big_share: cell.shares.first().copied().unwrap_or(0.0),
+                monitor: r.monitor_report().cloned(),
             }
         })
         .collect();
@@ -254,6 +319,34 @@ pub fn run_biglittle_with(seed: u64, frames: u64, runner: &RunnerConfig) -> BigL
         &[seed],
         &[frames],
         |label, seed, frames| biglittle_cell(label, &prep, seed, frames),
+    );
+    biglittle_assemble(batch.run(runner))
+}
+
+/// **big.LITTLE placement** with the standard temporal property pack
+/// monitoring every placement's chip-level epoch stream; verdicts land
+/// on each row's [`monitor`](BigLittleRow::monitor) field. Execution
+/// policy read from `QGOV_WORKERS`.
+#[must_use]
+pub fn run_biglittle_monitored(seed: u64, frames: u64, pack: &PackConfig) -> BigLittleResult {
+    run_biglittle_monitored_with(seed, frames, &RunnerConfig::from_env(), pack)
+}
+
+/// [`run_biglittle_monitored`] under an explicit [`RunnerConfig`].
+#[must_use]
+pub fn run_biglittle_monitored_with(
+    seed: u64,
+    frames: u64,
+    runner: &RunnerConfig,
+    pack: &PackConfig,
+) -> BigLittleResult {
+    let prep = biglittle_prepare(seed, frames);
+    let mut batch = ExperimentBatch::new();
+    batch.expand_cells(
+        BIGLITTLE_LABELS,
+        &[seed],
+        &[frames],
+        |label, seed, frames| biglittle_cell_with(label, &prep, seed, frames, Some(pack)),
     );
     biglittle_assemble(batch.run(runner))
 }
@@ -420,6 +513,18 @@ pub(crate) fn mesh_prepare(seed: u64, frames: u64) -> Vec<TracePrep> {
 /// Runs one mesh-size cell: [`ManyCoreRtm`] on a homogeneous mesh with
 /// an initially uniform placement.
 pub(crate) fn mesh_cell(label: &str, preps: &[TracePrep], seed: u64, frames: u64) -> ManyCoreCell {
+    mesh_cell_with(label, preps, seed, frames, None)
+}
+
+/// [`mesh_cell`] with the standard temporal property pack optionally
+/// monitoring the chip-level epoch stream.
+pub(crate) fn mesh_cell_with(
+    label: &str,
+    preps: &[TracePrep],
+    seed: u64,
+    frames: u64,
+    pack: Option<&PackConfig>,
+) -> ManyCoreCell {
     let idx = MESH_LABELS
         .iter()
         .position(|l| *l == label)
@@ -430,7 +535,15 @@ pub(crate) fn mesh_cell(label: &str, preps: &[TracePrep], seed: u64, frames: u64
     let mut gov = ManyCoreRtm::paper(seed, clusters, prep.bounds).expect("paper config is valid");
     let shares = vec![1.0 / clusters as f64; clusters];
     let mut replay = prep.trace.clone();
-    let out = run_manycore_experiment(&mut gov, &mut replay, topology, frames, &shares);
+    let out = run_cell(
+        &mut gov,
+        &mut replay,
+        topology,
+        frames,
+        &shares,
+        label,
+        pack,
+    );
     ManyCoreCell {
         report: out.report,
         migrations: gov.migrations(),
@@ -454,6 +567,9 @@ pub struct MeshRow {
     pub miss_rate: f64,
     /// Share moves performed by the coordinator.
     pub migrations: u64,
+    /// Temporal-property verdicts when the run was monitored
+    /// ([`run_mesh_scaling_monitored`]); `None` otherwise.
+    pub monitor: Option<MonitorReport>,
 }
 
 /// The mesh scaling bundle.
@@ -481,6 +597,7 @@ pub(crate) fn mesh_assemble(cells: Vec<ManyCoreCell>) -> MeshScalingResult {
                 energy_per_cluster: r.total_energy().as_joules() / clusters as f64,
                 miss_rate: r.miss_rate(),
                 migrations: cell.migrations,
+                monitor: r.monitor_report().cloned(),
             }
         })
         .collect();
@@ -522,6 +639,31 @@ pub fn run_mesh_scaling_with(seed: u64, frames: u64, runner: &RunnerConfig) -> M
     let mut batch = ExperimentBatch::new();
     batch.expand_cells(MESH_LABELS, &[seed], &[frames], |label, seed, frames| {
         mesh_cell(label, &preps, seed, frames)
+    });
+    mesh_assemble(batch.run(runner))
+}
+
+/// **Mesh weak scaling** with the standard temporal property pack
+/// monitoring every mesh size's chip-level epoch stream; verdicts land
+/// on each row's [`monitor`](MeshRow::monitor) field. Execution policy
+/// read from `QGOV_WORKERS`.
+#[must_use]
+pub fn run_mesh_scaling_monitored(seed: u64, frames: u64, pack: &PackConfig) -> MeshScalingResult {
+    run_mesh_scaling_monitored_with(seed, frames, &RunnerConfig::from_env(), pack)
+}
+
+/// [`run_mesh_scaling_monitored`] under an explicit [`RunnerConfig`].
+#[must_use]
+pub fn run_mesh_scaling_monitored_with(
+    seed: u64,
+    frames: u64,
+    runner: &RunnerConfig,
+    pack: &PackConfig,
+) -> MeshScalingResult {
+    let preps = mesh_prepare(seed, frames);
+    let mut batch = ExperimentBatch::new();
+    batch.expand_cells(MESH_LABELS, &[seed], &[frames], |label, seed, frames| {
+        mesh_cell_with(label, &preps, seed, frames, Some(pack))
     });
     mesh_assemble(batch.run(runner))
 }

@@ -78,14 +78,15 @@ pub mod perf;
 pub mod runner;
 pub mod sweep;
 
-pub use harness::{run_experiment, ExperimentOutcome};
+pub use harness::{run_experiment, run_experiment_monitored, ExperimentOutcome};
 pub use hetero::{
-    run_biglittle, run_biglittle_sweep, run_biglittle_sweep_with, run_biglittle_with,
-    run_mesh_scaling, run_mesh_scaling_sweep, run_mesh_scaling_sweep_with, run_mesh_scaling_with,
-    BigLittleResult, BigLittleRow, BigLittleSweep, BigLittleSweepRow, MeshRow, MeshScalingResult,
-    MeshSweep, MeshSweepRow,
+    run_biglittle, run_biglittle_monitored, run_biglittle_monitored_with, run_biglittle_sweep,
+    run_biglittle_sweep_with, run_biglittle_with, run_mesh_scaling, run_mesh_scaling_monitored,
+    run_mesh_scaling_monitored_with, run_mesh_scaling_sweep, run_mesh_scaling_sweep_with,
+    run_mesh_scaling_with, BigLittleResult, BigLittleRow, BigLittleSweep, BigLittleSweepRow,
+    MeshRow, MeshScalingResult, MeshSweep, MeshSweepRow,
 };
-pub use manycore::{run_manycore_experiment, ManyCoreOutcome};
+pub use manycore::{run_manycore_experiment, run_manycore_experiment_monitored, ManyCoreOutcome};
 pub use perf::BenchRecord;
 pub use runner::{ExperimentBatch, RunnerConfig, RunnerMode};
 pub use sweep::{Aggregate, SeedSweep};

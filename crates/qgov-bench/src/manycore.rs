@@ -44,7 +44,7 @@ use crate::harness::{
     to_work_slices_into,
 };
 use qgov_governors::{GovernorContext, ManyCoreGovernor, ManyCoreObservation, VfDecision};
-use qgov_metrics::RunReport;
+use qgov_metrics::{MonitorSample, PropertySet, RunReport};
 use qgov_sim::{ManyCoreFrameResult, ManyCorePlatform, Topology, WorkSlice};
 use qgov_workloads::{split_demand_into, Application, FrameDemand};
 
@@ -99,6 +99,48 @@ pub fn run_manycore_experiment(
     topology: Topology,
     frames: u64,
     initial_shares: &[f64],
+) -> ManyCoreOutcome {
+    run_manycore_experiment_inner(coordinator, app, topology, frames, initial_shares, None)
+}
+
+/// [`run_manycore_experiment`] with a streaming temporal-property
+/// monitor riding along on the *chip-level* epoch stream: after every
+/// coordinator decision the loop fills one [`MonitorSample`] from the
+/// barrier aggregates (slowest cluster's frame time, summed energy,
+/// chip-wide peak temperature, cluster 0's OPP) plus the coordinator's
+/// ε/convergence state, and feeds it to `monitors`.
+///
+/// Monitoring never perturbs the run — the chip report equals the
+/// unmonitored run's except for the attached
+/// [`monitor_report`](RunReport::monitor_report) — and adds no heap
+/// allocations to the steady-state epoch.
+pub fn run_manycore_experiment_monitored(
+    coordinator: &mut dyn ManyCoreGovernor,
+    app: &mut dyn Application,
+    topology: Topology,
+    frames: u64,
+    initial_shares: &[f64],
+    monitors: &mut PropertySet<MonitorSample>,
+) -> ManyCoreOutcome {
+    let mut outcome = run_manycore_experiment_inner(
+        coordinator,
+        app,
+        topology,
+        frames,
+        initial_shares,
+        Some(monitors),
+    );
+    outcome.report.set_monitor_report(monitors.report());
+    outcome
+}
+
+fn run_manycore_experiment_inner(
+    coordinator: &mut dyn ManyCoreGovernor,
+    app: &mut dyn Application,
+    topology: Topology,
+    frames: u64,
+    initial_shares: &[f64],
+    mut monitors: Option<&mut PropertySet<MonitorSample>>,
 ) -> ManyCoreOutcome {
     let mut chip = ManyCorePlatform::new(topology).expect("valid topology");
     let n = chip.cluster_count();
@@ -170,6 +212,25 @@ pub fn run_manycore_experiment(
             &mut shares,
         );
         assert_eq!(decisions.len(), n, "one decision per cluster");
+        if let Some(monitors) = monitors.as_deref_mut() {
+            // Sampled after decide_into() so ε/convergence reflect this
+            // epoch's selections.
+            let peak = frame
+                .clusters
+                .iter()
+                .map(|f| f.temperature)
+                .fold(frame.clusters[0].temperature, qgov_units::Temp::max);
+            monitors.observe(&MonitorSample {
+                epoch,
+                frame_time_ratio: frame.frame_time.ratio(period),
+                met_deadline: frame.met_deadline(),
+                opp: frame.clusters[0].cluster_opp,
+                temperature_c: peak.as_celsius(),
+                energy_j: frame.energy.as_joules(),
+                epsilon: coordinator.exploration_epsilon().unwrap_or(f64::NAN),
+                converged: coordinator.has_converged().unwrap_or(false),
+            });
+        }
         for (c, decision) in decisions.iter().enumerate() {
             apply_decision(chip.cluster_mut(c), decision).expect("decision in range");
             chip.add_overhead(c, coordinator.processing_overhead(c));

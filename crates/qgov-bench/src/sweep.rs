@@ -49,7 +49,7 @@ use crate::experiments::{
     self, AblationResult, Fig3Result, LongHorizonResult, Table1Result, Table2Result, Table3Result,
 };
 use crate::runner::{ExperimentBatch, RunnerConfig};
-use qgov_metrics::{MetricSummary, SweepFormat, SweepTable};
+use qgov_metrics::{MetricSummary, PackConfig, SweepFormat, SweepTable};
 
 /// The seed set a multi-seed sweep runs over.
 ///
@@ -827,7 +827,40 @@ pub fn run_long_horizon_sweep_with(
         experiments::long_horizon_cell,
         |_seed, prep, reports| experiments::long_horizon_assemble(prep, frames, reports),
     );
+    assemble_long_horizon_sweep(agg)
+}
 
+/// [`run_long_horizon_sweep_with`] with the standard temporal property
+/// pack riding every seed × methodology cell: the aggregates are
+/// unchanged (monitors are pure observers) and each per-seed row
+/// carries its verdicts on
+/// [`monitor`](crate::experiments::LongHorizonRow::monitor).
+#[must_use]
+pub fn run_long_horizon_monitored_sweep_with(
+    sweep: &SeedSweep,
+    frames: u64,
+    runner: &RunnerConfig,
+    pack: &PackConfig,
+) -> LongHorizonSweep {
+    let cfg = *pack;
+    let agg = Aggregate::collect_grid(
+        experiments::LONG_HORIZON_LABELS,
+        sweep,
+        frames,
+        runner,
+        experiments::long_horizon_prepare,
+        move |label, prep, seed, frames| {
+            experiments::long_horizon_cell_with(label, prep, seed, frames, Some(&cfg))
+        },
+        |_seed, prep, reports| experiments::long_horizon_assemble(prep, frames, reports),
+    );
+    assemble_long_horizon_sweep(agg)
+}
+
+/// Folds the per-seed long-horizon results into the cross-seed rows
+/// and rendered table (shared by the monitored and unmonitored
+/// sweeps).
+fn assemble_long_horizon_sweep(agg: Aggregate<LongHorizonResult>) -> LongHorizonSweep {
     let methods: Vec<String> = agg.results()[0]
         .rows
         .iter()

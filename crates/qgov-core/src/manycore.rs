@@ -78,6 +78,17 @@ impl ManyCoreRtm {
         &self.agents[cluster]
     }
 
+    /// Mutable access to one cluster's agent — the hook for attaching a
+    /// per-cluster monitor tap
+    /// ([`RtmGovernor::attach_monitor`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn agent_mut(&mut self, cluster: usize) -> &mut RtmGovernor {
+        &mut self.agents[cluster]
+    }
+
     /// Number of per-cluster agents.
     #[must_use]
     pub fn clusters(&self) -> usize {
@@ -122,6 +133,20 @@ impl ManyCoreGovernor for ManyCoreRtm {
 
     fn processing_overhead(&self, cluster: usize) -> SimTime {
         self.agents[cluster].processing_overhead()
+    }
+
+    /// The chip-level ε is the maximum over the per-cluster agents —
+    /// still monotone non-increasing, since every agent's schedule is.
+    fn exploration_epsilon(&self) -> Option<f64> {
+        self.agents
+            .iter()
+            .map(RtmGovernor::epsilon)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Converged once every per-cluster agent has converged.
+    fn has_converged(&self) -> Option<bool> {
+        Some(self.agents.iter().all(|a| a.converged_at().is_some()))
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::{ExplorationKind, HistoryMode, RtmConfig, StateKind, StateMapper};
 use qgov_governors::{EpochObservation, Governor, GovernorContext, SlackTracker, VfDecision};
+use qgov_metrics::{MonitorReport, PropertySet};
 use qgov_rl::{
     ActionSpace, AgentConfig, EpdPolicy, EwmaPredictor, ExplorationPolicy, Predictor,
     QLearningAgent, QTable, RewardFn, RlError, SoftmaxPolicy, UniformPolicy,
@@ -122,6 +123,10 @@ pub struct RtmGovernor {
     /// path performs no heap allocation (sized to `cores` at `init`).
     scratch_actual: Vec<f64>,
     scratch_predicted: Vec<f64>,
+    /// Streaming temporal monitors tapped on the epoch stream. The tap
+    /// sees every epoch regardless of [`HistoryMode`] (including
+    /// `Off`), never influences decisions, and survives `init()`.
+    monitor: Option<PropertySet<EpochRecord>>,
 }
 
 impl RtmGovernor {
@@ -153,7 +158,49 @@ impl RtmGovernor {
             history,
             scratch_actual: Vec::new(),
             scratch_predicted: Vec::new(),
+            monitor: None,
         })
+    }
+
+    /// Attaches a streaming [`PropertySet`] to the epoch stream: every
+    /// [`EpochRecord`] the RTM produces is fed to the monitors the
+    /// moment it is formed, independent of the configured
+    /// [`HistoryMode`] (a tap, not a reader of the retained history —
+    /// it observes every epoch even under [`HistoryMode::Off`]).
+    ///
+    /// The tap is a pure observer: it never influences decisions, and
+    /// its per-epoch work is allocation-free. It deliberately survives
+    /// [`Governor::init`] so it can be attached before a harness run
+    /// (which calls `init` itself); a monitor attached across several
+    /// runs of one governor observes their concatenated stream.
+    pub fn attach_monitor(&mut self, monitor: PropertySet<EpochRecord>) {
+        self.monitor = Some(monitor);
+    }
+
+    /// The attached monitor set, if any.
+    #[must_use]
+    pub fn monitor(&self) -> Option<&PropertySet<EpochRecord>> {
+        self.monitor.as_ref()
+    }
+
+    /// Detaches and returns the monitor set.
+    pub fn take_monitor(&mut self) -> Option<PropertySet<EpochRecord>> {
+        self.monitor.take()
+    }
+
+    /// The monitors' verdicts over the epochs observed so far.
+    #[must_use]
+    pub fn monitor_report(&self) -> Option<MonitorReport> {
+        self.monitor.as_ref().map(PropertySet::report)
+    }
+
+    /// Feeds one epoch's telemetry to the monitor tap and the retained
+    /// history — the single seam both decide paths exit through.
+    fn record_epoch(&mut self, record: EpochRecord) {
+        if let Some(monitor) = &mut self.monitor {
+            monitor.observe(&record);
+        }
+        self.history.push(record);
     }
 
     fn build_policy(&self) -> Box<dyn ExplorationPolicy + Send> {
@@ -380,7 +427,7 @@ impl Governor for RtmGovernor {
                 );
             } else {
                 let action = self.calibration_action(&self.scratch_predicted);
-                self.history.push(EpochRecord {
+                self.record_epoch(EpochRecord {
                     epoch: obs.epoch,
                     predicted_total_cycles: predicted_for_this_frame,
                     actual_total_cycles: actual_total,
@@ -413,7 +460,7 @@ impl Governor for RtmGovernor {
         let agent = self.agent.as_mut().expect("init() builds the agent");
         let action = agent.begin_epoch(state, reward, l);
 
-        self.history.push(EpochRecord {
+        self.record_epoch(EpochRecord {
             epoch: obs.epoch,
             predicted_total_cycles: predicted_for_this_frame,
             actual_total_cycles: actual_total,
@@ -430,6 +477,14 @@ impl Governor for RtmGovernor {
     fn processing_overhead(&self) -> SimTime {
         let actions = self.table.as_ref().map_or(19, OppTable::len);
         self.config.overhead.cost(self.cores.max(1), actions)
+    }
+
+    fn exploration_epsilon(&self) -> Option<f64> {
+        Some(self.epsilon())
+    }
+
+    fn has_converged(&self) -> Option<bool> {
+        Some(self.converged_at().is_some())
     }
 }
 

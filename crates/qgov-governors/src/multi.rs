@@ -70,6 +70,21 @@ pub trait ManyCoreGovernor {
         let _ = cluster;
         SimTime::ZERO
     }
+
+    /// Chip-level exploration rate, for learned coordinators (the
+    /// maximum over per-cluster agents, so it is still monotone
+    /// non-increasing under each agent's decay). `None` (the default)
+    /// means no such notion; temporal monitors treat the matching
+    /// properties as vacuous.
+    fn exploration_epsilon(&self) -> Option<f64> {
+        None
+    }
+
+    /// Whether the coordinator as a whole has converged (all agents).
+    /// `None` (the default) means no convergence notion.
+    fn has_converged(&self) -> Option<bool> {
+        None
+    }
 }
 
 /// Independent per-cluster governors with a static placement: cluster
@@ -207,6 +222,30 @@ impl ManyCoreGovernor for PerClusterGovernors {
 
     fn processing_overhead(&self, cluster: usize) -> SimTime {
         self.governors[cluster].processing_overhead()
+    }
+
+    /// The maximum ε over the per-cluster governors that report one;
+    /// `None` when no wrapped governor explores.
+    fn exploration_epsilon(&self) -> Option<f64> {
+        self.governors
+            .iter()
+            .filter_map(|g| g.exploration_epsilon())
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Converged once every wrapped governor that *reports* convergence
+    /// has converged; heuristic clusters (`None`) neither block nor
+    /// satisfy it. `None` when no wrapped governor learns.
+    fn has_converged(&self) -> Option<bool> {
+        let mut any = false;
+        for g in &self.governors {
+            match g.has_converged() {
+                Some(false) => return Some(false),
+                Some(true) => any = true,
+                None => {}
+            }
+        }
+        any.then_some(true)
     }
 }
 

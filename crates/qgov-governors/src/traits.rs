@@ -116,6 +116,20 @@ pub trait Governor {
     fn processing_overhead(&self) -> SimTime {
         SimTime::ZERO
     }
+
+    /// The current exploration rate, for governors that learn by
+    /// ε-greedy action selection. `None` (the default) means the
+    /// governor exposes no such notion; temporal monitors treat the
+    /// matching properties as vacuous.
+    fn exploration_epsilon(&self) -> Option<f64> {
+        None
+    }
+
+    /// Whether the governor has converged to exploitation. `None` (the
+    /// default) means the governor has no convergence notion.
+    fn has_converged(&self) -> Option<bool> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -21,12 +21,17 @@
 //!   experiments report;
 //! * [`ComparisonTable`] — aligned ASCII tables matching the paper's
 //!   layout, with CSV export;
-//! * [`Series`] — named (x, y) series with CSV export for figures.
+//! * [`Series`] — named (x, y) series with CSV export for figures;
+//! * [`Property`] / [`PropertySet`] — streaming LTL-style temporal
+//!   monitors (`always` / `eventually` / `until` / `after`) evaluated
+//!   online over epoch streams in O(1) state per property, with the
+//!   [`standard_pack`] encoding the paper's temporal claims.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod misprediction;
+pub mod monitor;
 mod report;
 mod series;
 mod stats;
@@ -35,6 +40,11 @@ mod table;
 mod window;
 
 pub use misprediction::MispredictionStats;
+pub use monitor::{
+    converged_miss_rate, epsilon_monotone, epsilon_reaches_floor, opp_step_bound, standard_pack,
+    thermal_cap, MonitorReport, MonitorSample, PackConfig, Property, PropertySet, PropertyVerdict,
+    Verdict,
+};
 pub use report::{FrameStat, RunReport};
 pub use series::Series;
 pub use stats::{t_critical_975, OnlineStats};

@@ -1,5 +1,6 @@
 //! Per-run accounting.
 
+use crate::monitor::MonitorReport;
 use crate::OnlineStats;
 use qgov_units::{Energy, Power, SimTime, Temp};
 
@@ -54,6 +55,10 @@ pub struct RunReport {
     transitions: u64,
     total_overhead: SimTime,
     peak_temp: Temp,
+    /// Temporal-property verdicts, when the run was monitored. `None`
+    /// for unmonitored runs, so monitored and plain reports of the same
+    /// run differ only here.
+    monitor: Option<MonitorReport>,
 }
 
 impl RunReport {
@@ -78,6 +83,7 @@ impl RunReport {
             transitions: 0,
             total_overhead: SimTime::ZERO,
             peak_temp: Temp::default(),
+            monitor: None,
         }
     }
 
@@ -232,6 +238,26 @@ impl RunReport {
         self.peak_temp
     }
 
+    /// Attaches the temporal-monitor verdicts of a monitored run.
+    pub fn set_monitor_report(&mut self, monitor: MonitorReport) {
+        self.monitor = Some(monitor);
+    }
+
+    /// The temporal-monitor verdicts, when the run was monitored.
+    #[must_use]
+    pub fn monitor_report(&self) -> Option<&MonitorReport> {
+        self.monitor.as_ref()
+    }
+
+    /// Strips the monitor verdicts, restoring the exact report an
+    /// unmonitored run produces — the form the bit-identity seams
+    /// compare.
+    #[must_use]
+    pub fn without_monitor_report(mut self) -> Self {
+        self.monitor = None;
+        self
+    }
+
     /// Mean OPP index over the run (a quick energy-behaviour summary).
     #[must_use]
     pub fn mean_opp(&self) -> f64 {
@@ -298,6 +324,19 @@ mod tests {
         assert_eq!(r.miss_rate(), 0.0);
         assert_eq!(r.avg_power(), Power::ZERO);
         assert_eq!(r.mean_opp(), 0.0);
+    }
+
+    #[test]
+    fn monitor_report_attaches_and_strips_cleanly() {
+        use crate::{Property, PropertySet};
+        let plain = report_with(&[1.0], &[1.0], &[true]);
+        let mut monitored = plain.clone();
+        let mut set = PropertySet::new().with("ok", Property::always(|_: &u64| true));
+        set.observe(&0);
+        monitored.set_monitor_report(set.report());
+        assert_ne!(monitored, plain);
+        assert!(monitored.monitor_report().unwrap().is_clean());
+        assert_eq!(monitored.without_monitor_report(), plain);
     }
 
     #[test]

@@ -49,7 +49,9 @@ fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-/// One harness epoch, identical to `run_experiment`'s loop body.
+/// One harness epoch, identical to `run_experiment_monitored`'s loop
+/// body: simulate, record, decide, then feed the streaming temporal
+/// monitors one stack-built [`MonitorSample`].
 #[allow(clippy::too_many_arguments)]
 fn run_epoch(
     app: &mut SyntheticWorkload,
@@ -59,6 +61,7 @@ fn run_epoch(
     demand: &mut FrameDemand,
     work: &mut [WorkSlice],
     frame: &mut FrameResult,
+    monitors: &mut PropertySet<MonitorSample>,
     epoch: u64,
 ) {
     app.next_frame_into(demand);
@@ -84,6 +87,16 @@ fn run_epoch(
     let decision = rtm.decide(&EpochObservation {
         frame: &*frame,
         epoch,
+    });
+    monitors.observe(&MonitorSample {
+        epoch,
+        frame_time_ratio: frame.frame_time.ratio(SimTime::from_ms(40)),
+        met_deadline: frame.met_deadline(),
+        opp: frame.cluster_opp,
+        temperature_c: frame.temperature.as_celsius(),
+        energy_j: frame.energy.as_joules(),
+        epsilon: rtm.exploration_epsilon().unwrap_or(f64::NAN),
+        converged: rtm.has_converged().unwrap_or(false),
     });
     platform.set_cluster_opp(decision.resolve_cluster(platform.current_opp()));
     platform.add_overhead(rtm.processing_overhead());
@@ -121,6 +134,23 @@ fn steady_state_decision_epoch_is_allocation_free() {
         .with_history(HistoryMode::LastN(64));
     let mut rtm = RtmGovernor::new(config).expect("valid config");
 
+    // The RTM's own monitor tap: streaming properties over the raw
+    // `EpochRecord` telemetry, fed on every decide() regardless of the
+    // history mode. All state is built here, before the measured window.
+    rtm.attach_monitor(
+        PropertySet::new()
+            .with("slack-finite", {
+                Property::always(|r: &EpochRecord| r.avg_slack.is_finite())
+            })
+            .with("reaches-floor", {
+                Property::eventually(|r: &EpochRecord| r.epsilon <= 0.05)
+            }),
+    );
+
+    // The harness-level monitor set: the shipped standard pack over
+    // `MonitorSample`s, exactly what `run_experiment_monitored` feeds.
+    let mut monitors = standard_pack("rtm", &PackConfig::paper());
+
     let ctx = GovernorContext::new(platform.opp_table().clone(), cores, SimTime::from_ms(40));
     let first = rtm.init(&ctx);
     platform.set_cluster_opp(first.resolve_cluster(platform.current_opp()));
@@ -143,6 +173,7 @@ fn steady_state_decision_epoch_is_allocation_free() {
             &mut demand,
             &mut work,
             &mut frame,
+            &mut monitors,
             epoch,
         );
     }
@@ -151,7 +182,9 @@ fn steady_state_decision_epoch_is_allocation_free() {
         "warm-up must reach the exploitation phase"
     );
 
-    // Measured window: zero heap allocations across every epoch.
+    // Measured window: zero heap allocations across every epoch — with
+    // both monitor layers (the RTM's EpochRecord tap and the standard
+    // MonitorSample pack) observing every sample.
     let before = allocation_count();
     for epoch in WARMUP..FRAMES {
         run_epoch(
@@ -162,6 +195,7 @@ fn steady_state_decision_epoch_is_allocation_free() {
             &mut demand,
             &mut work,
             &mut frame,
+            &mut monitors,
             epoch,
         );
     }
@@ -176,6 +210,19 @@ fn steady_state_decision_epoch_is_allocation_free() {
     assert_eq!(report.frames(), FRAMES);
     assert_eq!(rtm.history().len(), 64);
     assert!(rtm.exploration_count() > 0);
+
+    // Both monitor layers really observed the whole run and reached
+    // non-vacuous verdicts (reporting allocates; it happens after the
+    // measured window).
+    assert_eq!(monitors.epochs(), FRAMES);
+    let pack_report = monitors.report();
+    assert!(pack_report.is_clean(), "{}", pack_report.summary());
+    let tap_report = rtm.monitor_report().expect("tap attached");
+    assert!(tap_report.is_clean(), "{}", tap_report.summary());
+    assert!(tap_report
+        .verdicts()
+        .iter()
+        .all(|v| v.verdict == Verdict::Holds));
 
     // Second phase: the softmax exploration policy. Its fused two-pass
     // select (like the EPD's) must keep the epoch heap-free while the
@@ -196,6 +243,7 @@ fn steady_state_decision_epoch_is_allocation_free() {
 
     let mut report = RunReport::new("rtm-softmax", "steady", SimTime::from_ms(40));
     report.reserve_frames(FRAMES as usize);
+    let mut monitors = standard_pack("rtm", &PackConfig::paper());
     for epoch in 0..WARMUP {
         run_epoch(
             &mut app,
@@ -205,6 +253,7 @@ fn steady_state_decision_epoch_is_allocation_free() {
             &mut demand,
             &mut work,
             &mut frame,
+            &mut monitors,
             epoch,
         );
     }
@@ -219,6 +268,7 @@ fn steady_state_decision_epoch_is_allocation_free() {
             &mut demand,
             &mut work,
             &mut frame,
+            &mut monitors,
             epoch,
         );
     }

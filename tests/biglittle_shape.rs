@@ -92,3 +92,31 @@ fn learned_migration_beats_both_static_placements() {
         );
     }
 }
+
+/// The same sweep under the standard temporal property pack: every
+/// placement on every seed runs violation-free, and monitoring leaves
+/// all placement metrics untouched.
+#[test]
+fn biglittle_sweep_runs_clean_under_the_standard_pack() {
+    let pack = PackConfig::paper();
+    for &seed in SeedSweep::base(2017, 3).seeds() {
+        let plain = run_biglittle_with(seed, FRAMES, &RunnerConfig::serial());
+        let monitored = run_biglittle_monitored_with(seed, FRAMES, &RunnerConfig::serial(), &pack);
+        for (m, p) in monitored.rows.iter().zip(&plain.rows) {
+            let report = m.monitor.as_ref().expect("monitored rows carry verdicts");
+            assert!(
+                report.is_clean(),
+                "seed {seed} {}: {}",
+                m.placement,
+                report.summary()
+            );
+            let mut stripped = m.clone();
+            stripped.monitor = None;
+            assert_eq!(
+                &stripped, p,
+                "seed {seed} {}: monitoring perturbed the run",
+                m.placement
+            );
+        }
+    }
+}

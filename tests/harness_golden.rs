@@ -254,6 +254,45 @@ fn single_cluster_trace_replay_matches_the_flat_harness() {
     );
 }
 
+/// The monitored harness is a pure observer: with the standard
+/// temporal property pack attached, the run's report equals the
+/// reference loop's bit-for-bit once the verdicts are stripped — and
+/// the pack itself is violation-free.
+#[test]
+fn monitored_harness_is_bit_identical_modulo_verdicts() {
+    let frames = 400;
+    let config = || RtmConfig::paper(7).with_workload_bounds(1e8, 1e9);
+    let mut rtm_ref = RtmGovernor::new(config()).unwrap();
+    let mut rtm_mon = RtmGovernor::new(config()).unwrap();
+    let mut app_ref = noisy_app(frames);
+    let mut app_mon = noisy_app(frames);
+
+    let (reference, ref_energy_bits) =
+        reference_run(&mut rtm_ref, &mut app_ref, quiet_config(), frames);
+    let mut pack = standard_pack("rtm", &PackConfig::paper());
+    let outcome = run_experiment_monitored(
+        &mut rtm_mon,
+        &mut app_mon,
+        quiet_config(),
+        frames,
+        &mut pack,
+    );
+
+    let verdicts = outcome.report.monitor_report().expect("verdicts attached");
+    assert!(verdicts.is_clean(), "{}", verdicts.summary());
+    assert_eq!(verdicts.epochs(), frames);
+    assert!(reference.monitor_report().is_none());
+    assert_eq!(
+        outcome.report.clone().without_monitor_report(),
+        reference,
+        "monitoring perturbed the harness"
+    );
+    assert_eq!(
+        outcome.platform.total_energy().as_joules().to_bits(),
+        ref_energy_bits
+    );
+}
+
 #[test]
 fn trace_replay_is_bit_identical_to_the_reference_loop() {
     // The trace path exercises `WorkloadTrace::next_frame_into` (the

@@ -122,3 +122,25 @@ fn long_horizon_experiment_is_deterministic() {
         assert_eq!(tiled, 600);
     }
 }
+
+/// The monitored wrapper over the same streamed horizon: the standard
+/// temporal property pack rides every governor's run with zero
+/// violations, and the monitors never perturb the metrics — every
+/// non-monitor field equals the unmonitored run's.
+#[test]
+fn monitored_long_horizon_is_clean_and_does_not_perturb_the_run() {
+    let plain = run_long_horizon_with(23, 600, &RunnerConfig::serial());
+    let monitored =
+        run_long_horizon_monitored_with(23, 600, &RunnerConfig::serial(), &PackConfig::paper());
+    assert_eq!(monitored.rows.len(), plain.rows.len());
+    for (m, p) in monitored.rows.iter().zip(&plain.rows) {
+        let report = m.monitor.as_ref().expect("monitored rows carry verdicts");
+        assert!(report.is_clean(), "{}: {}", m.method, report.summary());
+        assert_eq!(report.epochs(), 600);
+        assert!(p.monitor.is_none(), "unmonitored rows stay bare");
+        // Strip the verdicts: everything else is bit-identical.
+        let mut stripped = m.clone();
+        stripped.monitor = None;
+        assert_eq!(&stripped, p, "{}: monitoring perturbed the run", m.method);
+    }
+}

@@ -1,0 +1,287 @@
+//! The temporal-monitor acceptance suite: the standard property pack
+//! holds — with the *expected* verdicts, not merely without
+//! violations — across multi-seed sweeps of every harnessed
+//! experiment, and the monitors' edge semantics survive the trip
+//! through the real harness (vacuous `until`, violation on the final
+//! epoch, never-fired `after`, verdict stability across every
+//! [`HistoryMode`]).
+
+use qgov::bench::hetero::biglittle_app;
+use qgov::prelude::*;
+
+/// The seeds of the acceptance sweep (n = 5).
+const SEEDS: std::ops::Range<u64> = 2017..2022;
+
+fn verdict<'a>(m: &'a MonitorReport, name: &str) -> &'a Verdict {
+    &m.verdicts()
+        .iter()
+        .find(|v| v.name == name)
+        .unwrap_or_else(|| panic!("missing property {name}"))
+        .verdict
+}
+
+/// The standard pack is clean over the full n = 5 seed sweep of the
+/// long-horizon experiment, and the learning governor's properties
+/// hold *non-vacuously*: the RTM's ε really decayed monotonically to
+/// its floor and the post-convergence windowed miss rate stayed
+/// bounded.
+#[test]
+fn long_horizon_sweep_is_clean_under_the_standard_pack() {
+    let pack = PackConfig::paper();
+    for seed in SEEDS {
+        let result = run_long_horizon_monitored_with(seed, 400, &RunnerConfig::serial(), &pack);
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            let m = row
+                .monitor
+                .as_ref()
+                .expect("monitored run attaches verdicts");
+            assert!(m.is_clean(), "seed {seed} {}: {}", row.method, m.summary());
+            assert_eq!(m.epochs(), 400);
+            assert_eq!(*verdict(m, "thermal-cap"), Verdict::Holds);
+        }
+        // The learning governor's ε/convergence properties are real,
+        // not vacuous.
+        let rtm = &result.rows[2];
+        let m = rtm.monitor.as_ref().unwrap();
+        assert_eq!(*verdict(m, "epsilon-monotone"), Verdict::Holds);
+        assert_eq!(*verdict(m, "epsilon-reaches-floor"), Verdict::Holds);
+        assert_eq!(*verdict(m, "post-convergence-miss"), Verdict::Holds);
+        // The heuristics expose no ε, so their ε properties gate
+        // themselves off as vacuous rather than failing spuriously.
+        let ondemand = result.rows[0].monitor.as_ref().unwrap();
+        assert_eq!(*verdict(ondemand, "epsilon-monotone"), Verdict::Vacuous);
+        // Only the conservative governor carries the one-OPP-step
+        // contract, and it holds.
+        let conservative = result.rows[1].monitor.as_ref().unwrap();
+        assert_eq!(*verdict(conservative, "opp-step-bound"), Verdict::Holds);
+        assert!(ondemand
+            .verdicts()
+            .iter()
+            .all(|v| v.name != "opp-step-bound"));
+    }
+}
+
+/// The standard pack is clean over the n = 5 big.LITTLE placement
+/// sweep — every placement, including the chip-level learned-migration
+/// coordinator whose ε is the max over its per-cluster agents.
+#[test]
+fn biglittle_sweep_is_clean_under_the_standard_pack() {
+    let pack = PackConfig::paper();
+    for seed in SEEDS {
+        let result = run_biglittle_monitored_with(seed, 240, &RunnerConfig::serial(), &pack);
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            let m = row
+                .monitor
+                .as_ref()
+                .expect("monitored run attaches verdicts");
+            assert!(
+                m.is_clean(),
+                "seed {seed} {}: {}",
+                row.placement,
+                m.summary()
+            );
+            assert_eq!(*verdict(m, "thermal-cap"), Verdict::Holds);
+            // Every placement embeds at least one Q-agent (static
+            // placements run the RTM on their active cluster), so the
+            // ε decay contract binds everywhere.
+            assert_eq!(*verdict(m, "epsilon-monotone"), Verdict::Holds);
+            assert_eq!(*verdict(m, "epsilon-reaches-floor"), Verdict::Holds);
+        }
+    }
+}
+
+/// The standard pack is clean over the n = 5 mesh weak-scaling sweep:
+/// one chip-level monitor per mesh size, ε aggregated over 4/8/16
+/// per-cluster agents.
+#[test]
+fn mesh_scaling_sweep_is_clean_under_the_standard_pack() {
+    let pack = PackConfig::paper();
+    for seed in SEEDS {
+        let result = run_mesh_scaling_monitored_with(seed, 120, &RunnerConfig::serial(), &pack);
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            let m = row
+                .monitor
+                .as_ref()
+                .expect("monitored run attaches verdicts");
+            assert!(
+                m.is_clean(),
+                "seed {seed} mesh-{}: {}",
+                row.clusters,
+                m.summary()
+            );
+            assert_eq!(m.epochs(), 120);
+            assert_eq!(*verdict(m, "epsilon-reaches-floor"), Verdict::Holds);
+        }
+    }
+}
+
+/// A horizon too short for ε to decay to its floor: the
+/// `eventually`-style floor property **violates on the final epoch**
+/// (end-of-stream obligation), while [`PackConfig::short_run`] drops
+/// that property so short smoke runs stay clean — and the
+/// `after(convergence, ...)` miss property is vacuous because
+/// convergence never happened.
+#[test]
+fn short_horizons_violate_the_floor_and_leave_convergence_vacuous() {
+    let frames = 30u64; // far below the ~92-epoch ε decay horizon
+    let strict =
+        run_long_horizon_monitored_with(3, frames, &RunnerConfig::serial(), &PackConfig::paper());
+    let rtm = strict.rows[2].monitor.as_ref().unwrap();
+    assert_eq!(
+        *verdict(rtm, "epsilon-reaches-floor"),
+        Verdict::Violated { epoch: frames - 1 },
+        "an unmet eventually must violate on the last observed epoch"
+    );
+    assert_eq!(
+        *verdict(rtm, "post-convergence-miss"),
+        Verdict::Vacuous,
+        "convergence never occurred, so the after() gate never fired"
+    );
+    assert_eq!(rtm.violation_count(), 1);
+
+    let lenient = run_long_horizon_monitored_with(
+        3,
+        frames,
+        &RunnerConfig::serial(),
+        &PackConfig::short_run(),
+    );
+    let rtm = lenient.rows[2].monitor.as_ref().unwrap();
+    assert!(rtm.is_clean(), "{}", rtm.summary());
+    assert!(rtm
+        .verdicts()
+        .iter()
+        .all(|v| v.name != "epsilon-reaches-floor"));
+}
+
+/// Custom properties attach alongside (or instead of) the standard
+/// pack: a vacuous `until` (released on the very first sample) and a
+/// trivially-holding `always`, fed by the real harness loop.
+#[test]
+fn custom_property_sets_ride_the_harness() {
+    let mut app = VideoDecoderModel::h264_football_15fps(5).with_frames(60);
+    let (_, bounds) = precharacterize(&mut app);
+    let mut gov =
+        RtmGovernor::new(RtmConfig::paper(5).with_workload_bounds(bounds.0, bounds.1)).unwrap();
+    let mut set = PropertySet::new()
+        .with(
+            "until-released-immediately",
+            Property::until(
+                |s: &MonitorSample| s.met_deadline,
+                |s: &MonitorSample| s.epoch == 0,
+            ),
+        )
+        .with(
+            "energy-is-positive",
+            Property::always(|s: &MonitorSample| s.energy_j >= 0.0),
+        );
+    let outcome = run_experiment_monitored(
+        &mut gov,
+        &mut app,
+        PlatformConfig::odroid_xu3_a15(),
+        60,
+        &mut set,
+    );
+    let m = outcome.report.monitor_report().expect("verdicts attached");
+    assert_eq!(
+        *verdict(m, "until-released-immediately"),
+        Verdict::Vacuous,
+        "an until released on its first sample holds only vacuously"
+    );
+    assert_eq!(*verdict(m, "energy-is-positive"), Verdict::Holds);
+    assert_eq!(m.epochs(), 60);
+}
+
+/// The RTM's monitor tap is independent of telemetry retention: the
+/// identical property set reaches the identical verdicts whether the
+/// epoch history is kept in full, compacted into a `LastN` ring, or
+/// disabled outright.
+#[test]
+fn rtm_tap_verdicts_are_stable_across_history_modes() {
+    let run = |history: HistoryMode| -> MonitorReport {
+        let mut app = VideoDecoderModel::h264_football_15fps(9).with_frames(200);
+        let (_, bounds) = precharacterize(&mut app);
+        let mut gov = RtmGovernor::new(
+            RtmConfig::paper(9)
+                .with_workload_bounds(bounds.0, bounds.1)
+                .with_history(history),
+        )
+        .unwrap();
+        gov.attach_monitor(
+            PropertySet::new()
+                .with("epsilon-monotone", {
+                    let mut prev = f64::INFINITY;
+                    Property::always(move |r: &EpochRecord| {
+                        let ok = r.epsilon <= prev + 1e-12;
+                        prev = r.epsilon;
+                        ok
+                    })
+                })
+                .with(
+                    "slack-finite",
+                    Property::always(|r: &EpochRecord| r.avg_slack.is_finite()),
+                )
+                .with(
+                    "eventually-exploits",
+                    Property::eventually(|r: &EpochRecord| r.epsilon <= 0.05),
+                ),
+        );
+        run_experiment(&mut gov, &mut app, PlatformConfig::odroid_xu3_a15(), 200);
+        gov.monitor_report().expect("tap attached")
+    };
+
+    let full = run(HistoryMode::Full);
+    let ring = run(HistoryMode::LastN(16));
+    let off = run(HistoryMode::Off);
+    assert_eq!(
+        full, ring,
+        "LastN ring compaction must not perturb verdicts"
+    );
+    assert_eq!(full, off, "the tap must work with history disabled");
+    assert!(full.is_clean(), "{}", full.summary());
+    assert_eq!(*verdict(&full, "eventually-exploits"), Verdict::Holds);
+    assert_eq!(full.epochs(), 200);
+}
+
+/// Monitoring is a pure observation: the monitored run's report equals
+/// the unmonitored run's except for the attached verdicts.
+#[test]
+fn monitored_manycore_run_is_bit_identical_modulo_verdicts() {
+    let topology = Topology::odroid_xu3_biglittle();
+    let mut app = biglittle_app(21, 120);
+    let (trace, bounds) = precharacterize(&mut app);
+
+    let mut plain_gov = ManyCoreRtm::paper(21, 2, bounds).unwrap();
+    let mut replay = trace.clone();
+    let plain = run_manycore_experiment(
+        &mut plain_gov,
+        &mut replay,
+        topology.clone(),
+        120,
+        &[0.5, 0.5],
+    );
+
+    let mut monitored_gov = ManyCoreRtm::paper(21, 2, bounds).unwrap();
+    let mut replay = trace;
+    let mut pack = standard_pack("rtm-migrate", &PackConfig::paper());
+    let monitored = run_manycore_experiment_monitored(
+        &mut monitored_gov,
+        &mut replay,
+        topology,
+        120,
+        &[0.5, 0.5],
+        &mut pack,
+    );
+
+    assert!(monitored.report.monitor_report().is_some());
+    assert!(plain.report.monitor_report().is_none());
+    assert_eq!(
+        monitored.report.clone().without_monitor_report(),
+        plain.report,
+        "monitoring must not perturb the run"
+    );
+    assert_eq!(monitored.shares, plain.shares);
+    assert_eq!(monitored.cluster_reports, plain.cluster_reports);
+}
