@@ -8,10 +8,9 @@
 //! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
 //! default one seed, matching the recorded single-run baselines).
 
-use qgov_bench::perf::{append_records, BenchRecord};
+use qgov_bench::perf::{append_records, passes_from_env, timed_passes, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_shared_table_ablation_sweep_with, SeedSweep};
-use std::time::Instant;
 
 const TARGET: &str = "ablation_shared_table";
 
@@ -19,22 +18,25 @@ fn main() {
     let frames = frames_from_env(3_000);
     let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
+    let passes = passes_from_env(3);
     println!("== Ablation: shared Q-table vs per-core independent tables ==");
     println!("   H.264 football, {frames} frames, {}", sweep.describe());
     println!("   runner: {}\n", runner.describe());
-    let start = Instant::now();
-    let result = run_shared_table_ablation_sweep_with(&sweep, frames, &runner);
-    let elapsed = start.elapsed();
+    let (result, secs) = timed_passes(passes, || {
+        run_shared_table_ablation_sweep_with(&sweep, frames, &runner)
+    });
     println!("{}", result.table.render());
     println!("expectation: the shared-table formulations converge in fewer epochs and");
     println!("save more energy than per-core independent tables [20].");
-    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+    let wall_clock = BenchRecord::from_samples(TARGET, "wall_clock_s", &secs);
+    println!(
+        "\nwall-clock: {:.3} s ± {:.3} over {passes} pass(es) ({})",
+        wall_clock.mean,
+        wall_clock.sigma,
+        runner.describe()
+    );
 
-    let mut records = vec![BenchRecord::scalar(
-        TARGET,
-        "wall_clock_s",
-        elapsed.as_secs_f64(),
-    )];
+    let mut records = vec![wall_clock];
     for row in &result.rows {
         records.push(BenchRecord::from_summary(
             TARGET,

@@ -11,10 +11,9 @@
 //! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
 //! default one seed, matching the recorded single-run baselines).
 
-use qgov_bench::perf::{append_records, BenchRecord};
+use qgov_bench::perf::{append_records, passes_from_env, timed_passes, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_state_levels_ablation_sweep_with, SeedSweep};
-use std::time::Instant;
 
 const TARGET: &str = "ablation_state_levels";
 
@@ -22,22 +21,25 @@ fn main() {
     let frames = frames_from_env(3_000);
     let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
+    let passes = passes_from_env(3);
     println!("== Ablation: state discretisation levels N ==");
     println!("   H.264 football, {frames} frames, {}", sweep.describe());
     println!("   runner: {}\n", runner.describe());
-    let start = Instant::now();
-    let result = run_state_levels_ablation_sweep_with(&sweep, frames, &runner);
-    let elapsed = start.elapsed();
+    let (result, secs) = timed_passes(passes, || {
+        run_state_levels_ablation_sweep_with(&sweep, frames, &runner)
+    });
     println!("{}", result.table.render());
     println!("expectation: small N converges fast but controls coarsely;");
     println!("large N controls finely but explores/converges slowly — N = 5 balances.");
-    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+    let wall_clock = BenchRecord::from_samples(TARGET, "wall_clock_s", &secs);
+    println!(
+        "\nwall-clock: {:.3} s ± {:.3} over {passes} pass(es) ({})",
+        wall_clock.mean,
+        wall_clock.sigma,
+        runner.describe()
+    );
 
-    let mut records = vec![BenchRecord::scalar(
-        TARGET,
-        "wall_clock_s",
-        elapsed.as_secs_f64(),
-    )];
+    let mut records = vec![wall_clock];
     for row in &result.rows {
         records.push(BenchRecord::from_summary(
             TARGET,

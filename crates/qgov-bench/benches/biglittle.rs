@@ -9,11 +9,10 @@
 //! seed sweep (default one seed, matching the recorded baselines in
 //! EXPERIMENTS.md).
 
-use qgov_bench::perf::{append_records, BenchRecord};
+use qgov_bench::perf::{append_records, passes_from_env, timed_passes, BenchRecord};
 use qgov_bench::run_biglittle_sweep_with;
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::SeedSweep;
-use std::time::Instant;
 
 const TARGET: &str = "biglittle";
 
@@ -21,6 +20,7 @@ fn main() {
     let frames = frames_from_env(3_000);
     let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
+    let passes = passes_from_env(3);
     println!("== big.LITTLE placement: static vs learned migration ==");
     println!(
         "   workload: chip-scaled H.264 football, {frames} frames at 15 fps, {}",
@@ -30,18 +30,18 @@ fn main() {
         "   topology: ODROID-XU3 (A15 quad + A7 quad), runner: {}\n",
         runner.describe()
     );
-    let start = Instant::now();
-    let result = run_biglittle_sweep_with(&sweep, frames, &runner);
-    let elapsed = start.elapsed();
+    let (result, secs) = timed_passes(passes, || run_biglittle_sweep_with(&sweep, frames, &runner));
 
     println!("{}", result.table.render());
-    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+    let wall_clock = BenchRecord::from_samples(TARGET, "wall_clock_s", &secs);
+    println!(
+        "\nwall-clock: {:.3} s ± {:.3} over {passes} pass(es) ({})",
+        wall_clock.mean,
+        wall_clock.sigma,
+        runner.describe()
+    );
 
-    let mut records = vec![BenchRecord::scalar(
-        TARGET,
-        "wall_clock_s",
-        elapsed.as_secs_f64(),
-    )];
+    let mut records = vec![wall_clock];
     for row in &result.rows {
         records.push(BenchRecord::from_summary(
             TARGET,

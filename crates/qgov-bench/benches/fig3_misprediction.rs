@@ -11,10 +11,9 @@
 //! (a count or a comma-separated list; default one seed, matching the
 //! recorded single-run baselines).
 
-use qgov_bench::perf::{append_records, BenchRecord};
+use qgov_bench::perf::{append_records, passes_from_env, timed_passes, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_fig3_sweep_with, SeedSweep};
-use std::time::Instant;
 
 const TARGET: &str = "fig3_misprediction";
 
@@ -22,6 +21,7 @@ fn main() {
     let frames = frames_from_env(3_000);
     let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
+    let passes = passes_from_env(3);
     println!("== Fig. 3: workload misprediction and learning impact on slack ==");
     println!(
         "   MPEG4 SVGA at 24 fps, gamma = 0.6, {frames} frames, {}",
@@ -29,9 +29,7 @@ fn main() {
     );
     println!("   (scene change scripted at frame 90, as in the paper's sequence)");
     println!("   runner: {}\n", runner.describe());
-    let start = Instant::now();
-    let result = run_fig3_sweep_with(&sweep, frames, &runner);
-    let elapsed = start.elapsed();
+    let (result, secs) = timed_passes(passes, || run_fig3_sweep_with(&sweep, frames, &runner));
 
     println!("{}", result.table.render());
     println!("paper reference: early ~8%, late ~3%");
@@ -57,10 +55,16 @@ fn main() {
         ),
         Err(e) => println!("\ncould not write {}: {e}", out.display()),
     }
-    println!("wall-clock: {elapsed:.2?} ({})", runner.describe());
+    let wall_clock = BenchRecord::from_samples(TARGET, "wall_clock_s", &secs);
+    println!(
+        "wall-clock: {:.3} s ± {:.3} over {passes} pass(es) ({})",
+        wall_clock.mean,
+        wall_clock.sigma,
+        runner.describe()
+    );
 
     append_records(&[
-        BenchRecord::scalar(TARGET, "wall_clock_s", elapsed.as_secs_f64()),
+        wall_clock,
         BenchRecord::from_summary(TARGET, "early_misprediction", &result.early_misprediction),
         BenchRecord::from_summary(TARGET, "late_misprediction", &result.late_misprediction),
         BenchRecord::from_summary(TARGET, "mispredicted_frames", &result.mispredicted_frames),

@@ -1,0 +1,104 @@
+//! **Fleet throughput**: N independent (platform, workload, RTM)
+//! instances stepped in lockstep through the structure-of-arrays
+//! engine (`qgov_bench::fleet`), measuring aggregate decision-epoch
+//! throughput. Target: ≥ 1 M aggregate frames/sec.
+//!
+//! Run with `cargo bench -p qgov-bench --bench fleet`.
+//! `QGOV_FLEET` sets the instance count (default 64); `QGOV_FRAMES`
+//! the per-instance horizon (default 20 000); `QGOV_WORKERS` the
+//! execution policy (`serial`, a worker count, default one shard per
+//! core); `QGOV_BENCH_PASSES` how many timed passes fold into the
+//! recorded `mean ± σ` (default 3). Reports retain windowed folds
+//! only (1000-frame windows), so memory stays O(windows) at any
+//! horizon.
+
+use qgov_bench::fleet::{fleet_size_from_env, run_fleet, FleetSpec};
+use qgov_bench::perf::{append_records, passes_from_env, BenchRecord};
+use qgov_bench::runner::{frames_from_env, RunnerConfig};
+use qgov_core::{HistoryMode, RtmConfig};
+use qgov_metrics::RunReport;
+use qgov_sim::PlatformConfig;
+use qgov_units::{Cycles, SimTime};
+use qgov_workloads::{Application, SyntheticWorkload};
+use std::time::Instant;
+
+const TARGET: &str = "fleet";
+const WINDOW: u64 = 1000;
+
+fn spec(instances: usize, frames: u64) -> FleetSpec {
+    let base = RtmConfig::paper(0)
+        .with_workload_bounds(1e8, 1e9)
+        .with_history(HistoryMode::Off);
+    let seeds: Vec<u64> = (0..instances as u64).collect();
+    FleetSpec::uniform(
+        &base,
+        &seeds,
+        &PlatformConfig::odroid_xu3_a15(),
+        frames,
+        |seed| {
+            Box::new(
+                SyntheticWorkload::constant(
+                    "fleet",
+                    Cycles::from_mcycles(120),
+                    SimTime::from_ms(40),
+                    frames,
+                    4,
+                    seed,
+                )
+                .with_noise(0.15),
+            ) as Box<dyn Application + Send>
+        },
+    )
+    .with_windowed_frames(WINDOW)
+}
+
+fn main() {
+    let instances = fleet_size_from_env(64);
+    let frames = frames_from_env(20_000);
+    let passes = passes_from_env(3);
+    let runner = RunnerConfig::from_env();
+    println!("== Fleet throughput: SoA engine, one epoch across all runs ==");
+    println!(
+        "   fleet: {instances} instances x {frames} frames \
+         ({} aggregate), {WINDOW}-frame windowed retention",
+        instances as u64 * frames
+    );
+    println!("   runner: {} | passes: {passes}\n", runner.describe());
+
+    let mut wall_clocks = Vec::with_capacity(passes);
+    let mut rates = Vec::with_capacity(passes);
+    let mut last = None;
+    for pass in 0..passes {
+        let start = Instant::now();
+        let outcome = run_fleet(spec(instances, frames), &runner);
+        let elapsed = start.elapsed().as_secs_f64();
+        let rate = outcome.total_frames as f64 / elapsed.max(f64::MIN_POSITIVE);
+        println!(
+            "pass {}/{passes}: {} frames in {elapsed:.3} s -> {:.0} frames/sec",
+            pass + 1,
+            outcome.total_frames,
+            rate
+        );
+        wall_clocks.push(elapsed);
+        rates.push(rate);
+        last = Some(outcome);
+    }
+
+    let outcome = last.expect("at least one pass");
+    let miss = outcome.summarize(RunReport::miss_rate);
+    let perf = outcome.summarize(RunReport::normalized_performance);
+    println!(
+        "\nfleet miss rate {:.4} ± {:.4} (n={}), mean T/T_ref {:.4} ± {:.4}",
+        miss.mean, miss.std_dev, miss.n, perf.mean, perf.std_dev
+    );
+
+    let mean_rate = rates.iter().sum::<f64>() / rates.len() as f64;
+    println!("aggregate throughput: {mean_rate:.0} frames/sec (target: >= 1,000,000)");
+
+    append_records(&[
+        BenchRecord::from_samples(TARGET, "wall_clock_s", &wall_clocks),
+        BenchRecord::from_samples(TARGET, "frames_per_sec", &rates),
+        BenchRecord::from_summary(TARGET, "miss_rate", &miss),
+        BenchRecord::from_summary(TARGET, "normalized_performance", &perf),
+    ]);
+}

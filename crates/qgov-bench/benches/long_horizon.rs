@@ -18,11 +18,10 @@
 //! property fails the target** — this is CI's monitored long-horizon
 //! smoke (`QGOV_FRAMES=20000`).
 
-use qgov_bench::perf::{append_records, BenchRecord};
+use qgov_bench::perf::{append_records, passes_from_env, timed_passes, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_long_horizon_monitored_sweep_with, SeedSweep};
 use qgov_metrics::PackConfig;
-use std::time::Instant;
 
 const TARGET: &str = "long_horizon";
 
@@ -30,6 +29,7 @@ fn main() {
     let frames = frames_from_env(100_000);
     let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
+    let passes = passes_from_env(3);
     let pack = PackConfig::paper();
     println!("== Long horizon: streamed traces, convergence over time ==");
     println!(
@@ -37,9 +37,9 @@ fn main() {
         sweep.describe()
     );
     println!("   runner: {}\n", runner.describe());
-    let start = Instant::now();
-    let result = run_long_horizon_monitored_sweep_with(&sweep, frames, &runner, &pack);
-    let elapsed = start.elapsed();
+    let (result, secs) = timed_passes(passes, || {
+        run_long_horizon_monitored_sweep_with(&sweep, frames, &runner, &pack)
+    });
 
     let first = &result.per_seed[0];
     println!(
@@ -80,15 +80,21 @@ fn main() {
         violations, 0,
         "temporal property violations detected — see stderr above"
     );
-    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+    let wall_clock = BenchRecord::from_samples(TARGET, "wall_clock_s", &secs);
+    println!(
+        "\nwall-clock: {:.3} s ± {:.3} over {passes} pass(es) ({})",
+        wall_clock.mean,
+        wall_clock.sigma,
+        runner.describe()
+    );
 
+    let rates: Vec<f64> = secs
+        .iter()
+        .map(|s| frames as f64 / s.max(f64::MIN_POSITIVE))
+        .collect();
     let mut records = vec![
-        BenchRecord::scalar(TARGET, "wall_clock_s", elapsed.as_secs_f64()),
-        BenchRecord::scalar(
-            TARGET,
-            "frames_per_sec",
-            frames as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
-        ),
+        wall_clock,
+        BenchRecord::from_samples(TARGET, "frames_per_sec", &rates),
     ];
     for row in &result.rows {
         records.push(BenchRecord::from_summary(

@@ -9,11 +9,10 @@
 //! picks the runner policy; `QGOV_SEEDS` the seed sweep (default one
 //! seed, matching the recorded baselines in EXPERIMENTS.md).
 
-use qgov_bench::perf::{append_records, BenchRecord};
+use qgov_bench::perf::{append_records, passes_from_env, timed_passes, BenchRecord};
 use qgov_bench::run_mesh_scaling_sweep_with;
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::SeedSweep;
-use std::time::Instant;
 
 const TARGET: &str = "mesh_scaling";
 
@@ -21,24 +20,27 @@ fn main() {
     let frames = frames_from_env(1_500);
     let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
+    let passes = passes_from_env(3);
     println!("== Mesh weak scaling: per-cluster RTM on 4/8/16 clusters ==");
     println!(
         "   workload: ~40% per-core utilisation scaled to the mesh, {frames} frames, {}",
         sweep.describe()
     );
     println!("   runner: {}\n", runner.describe());
-    let start = Instant::now();
-    let result = run_mesh_scaling_sweep_with(&sweep, frames, &runner);
-    let elapsed = start.elapsed();
+    let (result, secs) = timed_passes(passes, || {
+        run_mesh_scaling_sweep_with(&sweep, frames, &runner)
+    });
 
     println!("{}", result.table.render());
-    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+    let wall_clock = BenchRecord::from_samples(TARGET, "wall_clock_s", &secs);
+    println!(
+        "\nwall-clock: {:.3} s ± {:.3} over {passes} pass(es) ({})",
+        wall_clock.mean,
+        wall_clock.sigma,
+        runner.describe()
+    );
 
-    let mut records = vec![BenchRecord::scalar(
-        TARGET,
-        "wall_clock_s",
-        elapsed.as_secs_f64(),
-    )];
+    let mut records = vec![wall_clock];
     for row in &result.rows {
         records.push(BenchRecord::from_summary(
             TARGET,

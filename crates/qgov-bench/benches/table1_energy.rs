@@ -9,10 +9,9 @@
 //! `QGOV_SEEDS` the seed sweep (a count or a comma-separated list;
 //! default one seed, matching the recorded single-run baselines).
 
-use qgov_bench::perf::{append_records, BenchRecord};
+use qgov_bench::perf::{append_records, passes_from_env, timed_passes, BenchRecord};
 use qgov_bench::runner::{frames_from_env, RunnerConfig};
 use qgov_bench::sweep::{run_table1_sweep_with, SeedSweep};
-use std::time::Instant;
 
 const TARGET: &str = "table1_energy";
 
@@ -20,28 +19,29 @@ fn main() {
     let frames = frames_from_env(3_000);
     let sweep = SeedSweep::from_env(2017);
     let runner = RunnerConfig::from_env();
+    let passes = passes_from_env(3);
     println!("== Table I: comparative normalised energy and performance ==");
     println!(
         "   workload: H.264 football sequence, {frames} frames at 15 fps, {}",
         sweep.describe()
     );
     println!("   runner: {}\n", runner.describe());
-    let start = Instant::now();
-    let result = run_table1_sweep_with(&sweep, frames, &runner);
-    let elapsed = start.elapsed();
+    let (result, secs) = timed_passes(passes, || run_table1_sweep_with(&sweep, frames, &runner));
     println!("{}", result.table.render());
     println!("paper reference (measured on ODROID-XU3):");
     println!("  Linux Ondemand [5]            1.29  0.77");
     println!("  Multi-core DVFS control [20]  1.20  0.89");
     println!("  Proposed                      1.11  0.96");
-    println!("\nwall-clock: {elapsed:.2?} ({})", runner.describe());
+    let wall_clock = BenchRecord::from_samples(TARGET, "wall_clock_s", &secs);
+    println!(
+        "\nwall-clock: {:.3} s ± {:.3} over {passes} pass(es) ({})",
+        wall_clock.mean,
+        wall_clock.sigma,
+        runner.describe()
+    );
 
     // QGOV_BENCH_JSON perf trajectory: one record per headline metric.
-    let mut records = vec![BenchRecord::scalar(
-        TARGET,
-        "wall_clock_s",
-        elapsed.as_secs_f64(),
-    )];
+    let mut records = vec![wall_clock];
     for row in &result.rows {
         records.push(BenchRecord::from_summary(
             TARGET,

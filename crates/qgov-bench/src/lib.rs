@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fleet;
 pub mod harness;
 pub mod hetero;
 pub mod manycore;
@@ -78,6 +79,9 @@ pub mod perf;
 pub mod runner;
 pub mod sweep;
 
+pub use fleet::{
+    fleet_size_from_env, run_fleet, FleetEngine, FleetInstance, FleetOutcome, FleetSpec,
+};
 pub use harness::{run_experiment, run_experiment_monitored, ExperimentOutcome};
 pub use hetero::{
     run_biglittle, run_biglittle_monitored, run_biglittle_monitored_with, run_biglittle_sweep,

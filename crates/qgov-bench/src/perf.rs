@@ -37,6 +37,11 @@ pub struct BenchRecord {
     pub sigma: f64,
     /// Number of samples aggregated.
     pub n: u64,
+    /// Source revision the measurement was taken at (the git short
+    /// hash CI exports as `QGOV_BENCH_REV`); `None` when unknown, and
+    /// then omitted from the JSON line so pre-existing trajectories
+    /// keep parsing.
+    pub rev: Option<String>,
 }
 
 impl BenchRecord {
@@ -49,6 +54,7 @@ impl BenchRecord {
             mean: value,
             sigma: 0.0,
             n: 1,
+            rev: None,
         }
     }
 
@@ -61,7 +67,16 @@ impl BenchRecord {
             mean: summary.mean,
             sigma: summary.std_dev,
             n: summary.n,
+            rev: None,
         }
+    }
+
+    /// A record folding raw per-pass samples into `mean ± σ (n)` —
+    /// what the wall-clock loops record instead of a single-pass
+    /// scalar, so the trajectory carries real run-to-run spread.
+    #[must_use]
+    pub fn from_samples(target: &str, metric: impl Into<String>, samples: &[f64]) -> Self {
+        Self::from_summary(target, metric, &MetricSummary::from_samples(samples))
     }
 
     /// The record as one JSON line (no trailing newline). Non-finite
@@ -78,8 +93,13 @@ impl BenchRecord {
                 "null".to_owned()
             }
         };
+        let rev = self
+            .rev
+            .as_deref()
+            .map(|r| format!(",\"rev\":\"{}\"", escape(r)))
+            .unwrap_or_default();
         format!(
-            "{{\"target\":\"{}\",\"metric\":\"{}\",\"mean\":{},\"sigma\":{},\"n\":{}}}",
+            "{{\"target\":\"{}\",\"metric\":\"{}\",\"mean\":{},\"sigma\":{},\"n\":{}{rev}}}",
             escape(&self.target),
             escape(&self.metric),
             num(self.mean),
@@ -87,6 +107,67 @@ impl BenchRecord {
             self.n
         )
     }
+}
+
+/// The source revision to stamp onto appended records, if the
+/// `QGOV_BENCH_REV` environment variable names one (CI exports the git
+/// short hash; whitespace-only values count as unset).
+#[must_use]
+pub fn bench_rev() -> Option<String> {
+    std::env::var("QGOV_BENCH_REV")
+        .ok()
+        .map(|v| v.trim().to_owned())
+        .filter(|v| !v.is_empty())
+}
+
+/// Reads the wall-clock measurement pass count from the
+/// `QGOV_BENCH_PASSES` environment variable: a positive integer selects
+/// that many timed passes; anything else (including unset) selects
+/// `default`, with a warning for unparseable values.
+#[must_use]
+pub fn passes_from_env(default: usize) -> usize {
+    match std::env::var("QGOV_BENCH_PASSES") {
+        Ok(value) => match value.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!(
+                    "warning: unrecognised QGOV_BENCH_PASSES value {value:?}; \
+                     using default pass count {default}"
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// Times `passes` repetitions of `body` and returns the last pass's
+/// result together with the per-pass wall clocks in seconds.
+///
+/// The experiments are deterministic for a fixed seed set, so repeat
+/// passes are pure timing replicates: every pass returns bit-identical
+/// results, and the per-pass seconds are real samples of the same
+/// measurement — what [`BenchRecord::from_samples`] folds into an
+/// honest `mean ± σ (n)` wall-clock record instead of a single-pass
+/// scalar masquerading as `σ = 0`.
+///
+/// # Panics
+///
+/// Panics when `passes` is zero.
+pub fn timed_passes<R>(passes: usize, mut body: impl FnMut() -> R) -> (R, Vec<f64>) {
+    assert!(passes > 0, "need at least one timed pass");
+    let mut secs = Vec::with_capacity(passes);
+    let mut result = None;
+    for pass in 0..passes {
+        let start = std::time::Instant::now();
+        result = Some(body());
+        let elapsed = start.elapsed().as_secs_f64();
+        if passes > 1 {
+            println!("timing pass {}/{passes}: {elapsed:.3} s", pass + 1);
+        }
+        secs.push(elapsed);
+    }
+    (result.expect("at least one pass ran"), secs)
 }
 
 /// The configured trajectory file, if `QGOV_BENCH_JSON` names one.
@@ -97,7 +178,9 @@ pub fn json_path() -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
-/// Appends `records` to the `QGOV_BENCH_JSON` file as JSON lines.
+/// Appends `records` to the `QGOV_BENCH_JSON` file as JSON lines,
+/// stamping each with the `QGOV_BENCH_REV` revision when set (records
+/// that already carry a `rev` keep it).
 ///
 /// A no-op when the variable is unset. Write failures are reported on
 /// stderr and swallowed — a bench run must not die on a read-only
@@ -106,9 +189,16 @@ pub fn append_records(records: &[BenchRecord]) -> usize {
     let Some(path) = json_path() else {
         return 0;
     };
+    let rev = bench_rev();
     let mut body = String::new();
     for r in records {
-        body.push_str(&r.to_json_line());
+        if r.rev.is_none() && rev.is_some() {
+            let mut stamped = r.clone();
+            stamped.rev.clone_from(&rev);
+            body.push_str(&stamped.to_json_line());
+        } else {
+            body.push_str(&r.to_json_line());
+        }
         body.push('\n');
     }
     let appended = std::fs::OpenOptions::new()
@@ -175,8 +265,28 @@ mod tests {
             mean: 1.0,
             sigma: f64::NAN,
             n: 2,
+            rev: None,
         };
         assert!(r.to_json_line().contains("\"sigma\":null"));
+    }
+
+    #[test]
+    fn from_samples_folds_per_pass_wall_clocks() {
+        let r = BenchRecord::from_samples("t", "wall_clock_s", &[1.0, 2.0, 3.0]);
+        assert_eq!(r.mean, 2.0);
+        assert_eq!(r.n, 3);
+        assert!(r.sigma > 0.9 && r.sigma < 1.1);
+    }
+
+    #[test]
+    fn rev_field_appends_to_the_json_line_only_when_present() {
+        let mut r = BenchRecord::scalar("t1", "wall_clock_s", 2.5);
+        assert!(!r.to_json_line().contains("rev"));
+        r.rev = Some("abc1234".into());
+        assert_eq!(
+            r.to_json_line(),
+            "{\"target\":\"t1\",\"metric\":\"wall_clock_s\",\"mean\":2.5,\"sigma\":0,\"n\":1,\"rev\":\"abc1234\"}"
+        );
     }
 
     // `append_records` env behaviour is exercised end-to-end by the CI

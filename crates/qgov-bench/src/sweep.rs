@@ -193,10 +193,20 @@ impl SeedSweep {
     /// Human-readable description for experiment banners, e.g.
     /// `"seed 2017"`, `"5 seeds (2017..=2021)"` or
     /// `"seeds [2017, 5, 77]"`.
+    ///
+    /// Total over every seed list: the constructors reject empty
+    /// sweeps, but the empty slice would otherwise match the
+    /// consecutive arm vacuously (every windows(2) predicate holds on
+    /// no windows) and index `seeds[0]` — so it gets an explicit arm
+    /// rather than relying on the constructors upstream.
     #[must_use]
     pub fn describe(&self) -> String {
-        let consecutive = self.seeds.windows(2).all(|w| w[1] == w[0].wrapping_add(1));
+        let consecutive = self
+            .seeds
+            .windows(2)
+            .all(|w| w[0].checked_add(1) == Some(w[1]));
         match (self.seeds.as_slice(), consecutive) {
+            ([], _) => "no seeds".to_owned(),
             ([one], _) => format!("seed {one}"),
             (seeds, true) => format!(
                 "{} seeds ({}..={})",
@@ -1156,6 +1166,14 @@ mod tests {
             &[2017, 5, 77]
         );
         assert_eq!(SeedSweep::parse("42,", 2017).seeds(), &[42]);
+        // Untrimmed tokens: counts and list elements tolerate the
+        // whitespace a shell quote or Makefile line tends to leave.
+        assert_eq!(SeedSweep::parse(" 7 ", 2017), SeedSweep::base(2017, 7));
+        assert_eq!(SeedSweep::parse("\t3\n", 2017), SeedSweep::base(2017, 3));
+        assert_eq!(SeedSweep::parse(" 1 ,\t2 ,  3 ", 0).seeds(), &[1, 2, 3]);
+        // Seed VALUE zero is reachable through the list form even
+        // though the bare count "0" is rejected below.
+        assert_eq!(SeedSweep::parse("0,", 2017).seeds(), &[0]);
         assert_eq!(SeedSweep::parse("0", 2017), SeedSweep::single(2017));
         // A seed value where a count belongs must not explode into
         // thousands of runs.
@@ -1178,6 +1196,36 @@ mod tests {
             SeedSweep::new(vec![2017, 5, 77]).describe(),
             "seeds [2017, 5, 77]"
         );
+        // The empty slice must hit its explicit arm, not index
+        // seeds[0] through the vacuously-consecutive arm.
+        assert_eq!(SeedSweep { seeds: Vec::new() }.describe(), "no seeds");
+        // Wrap-around at u64::MAX is not "consecutive".
+        assert_eq!(
+            SeedSweep::new(vec![u64::MAX, 0]).describe(),
+            format!("seeds [{}, 0]", u64::MAX)
+        );
+    }
+
+    mod describe_totality {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // describe() is total: no seed list — including the empty
+            // one the constructors refuse but the type can represent —
+            // panics.
+            #[test]
+            fn describe_never_panics(seeds in proptest::collection::vec(0u64..u64::MAX, 0..8)) {
+                let n = seeds.len();
+                let described = SeedSweep { seeds }.describe();
+                prop_assert!(!described.is_empty());
+                if n == 0 {
+                    prop_assert_eq!(described, "no seeds");
+                }
+            }
+        }
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub use config::{ExplorationKind, HistoryMode, RtmConfig, StateKind};
 pub use manycore::ManyCoreRtm;
 pub use migration::{GreedyMigration, MigrationConfig};
 pub use overhead::OverheadModel;
-pub use rtm::{EpochRecord, RtmGovernor};
+pub use rtm::{EpochAgent, EpochRecord, RtmGovernor, RtmLane};
 pub use state::StateMapper;

@@ -45,7 +45,7 @@ pub use monitor::{
     thermal_cap, MonitorReport, MonitorSample, PackConfig, Property, PropertySet, PropertyVerdict,
     Verdict,
 };
-pub use report::{FrameStat, RunReport};
+pub use report::{FrameStat, FrameWindows, RunReport};
 pub use series::Series;
 pub use stats::{t_critical_975, OnlineStats};
 pub use sweep::{MetricSummary, SampleStats, SweepFormat, SweepTable};

@@ -1,0 +1,709 @@
+//! Fleet-scale structure-of-arrays substrate: every instance's Q-table
+//! in one contiguous arena, plus the per-instance agent lanes that
+//! drive them in lockstep.
+//!
+//! A fleet simulation steps N independent `(platform, workload, agent)`
+//! instances one epoch at a time. Scattering N boxed [`QTable`]s across
+//! the heap would make that epoch sweep pointer-chase per instance;
+//! [`QArena`] instead lays the tables out instance-major in one flat
+//! buffer (`values[instance][state][action]`), so the per-epoch sweep
+//! and the batched [`row_best_across`](QArena::row_best_across) kernel
+//! walk memory in address order.
+//!
+//! Bit-identity is by construction, not by accident: an arena lane and
+//! a standalone [`QLearningAgent`](crate::QLearningAgent) share the
+//! initial-table builder, the row-max fold, the Bellman mix and the
+//! entire epoch body (`AgentCore::begin_epoch`, generic over the
+//! crate's `QAccess` seam), so given identical seeds and inputs they
+//! execute identical floating-point instruction sequences.
+
+use crate::agent::{initial_table, AgentCore};
+use crate::qtable::{bellman_mix, best_of_row, QAccess};
+use crate::{ActionSpace, AgentConfig, ExplorationPolicy, QTable, RlError};
+
+/// A dense instance × state × action Q-value arena: N Q-tables of one
+/// shared shape in a single contiguous allocation, instance-major.
+///
+/// Per-instance visit and update counters ride along in parallel
+/// arrays, mirroring [`QTable`]'s bookkeeping per instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QArena {
+    instances: usize,
+    states: usize,
+    actions: usize,
+    values: Vec<f64>,
+    visits: Vec<u64>,
+    updates: Vec<u64>,
+}
+
+/// One instance's mutable window into a [`QArena`] — implements the
+/// crate's `QAccess` seam so `AgentCore::begin_epoch` drives it through
+/// the exact code path a standalone [`QTable`] takes.
+pub(crate) struct InstanceView<'a> {
+    values: &'a mut [f64],
+    visits: &'a mut [u64],
+    updates: &'a mut u64,
+    states: usize,
+    actions: usize,
+}
+
+impl InstanceView<'_> {
+    #[inline]
+    fn idx_fast(&self, state: usize, action: usize) -> usize {
+        debug_assert!(
+            state < self.states,
+            "state {state} out of range (states = {})",
+            self.states
+        );
+        debug_assert!(
+            action < self.actions,
+            "action {action} out of range (actions = {})",
+            self.actions
+        );
+        state * self.actions + action
+    }
+}
+
+impl QAccess for InstanceView<'_> {
+    #[inline]
+    fn row(&self, state: usize) -> &[f64] {
+        let start = self.idx_fast(state, 0);
+        &self.values[start..start + self.actions]
+    }
+
+    #[inline]
+    fn row_best(&self, state: usize) -> (usize, f64) {
+        let start = self.idx_fast(state, 0);
+        best_of_row(&self.values[start..start + self.actions])
+    }
+
+    #[inline]
+    fn update_unchecked(
+        &mut self,
+        state: usize,
+        action: usize,
+        reward: f64,
+        next_state: usize,
+        alpha: f64,
+        discount: f64,
+    ) {
+        debug_assert!(
+            (0.0..=1.0).contains(&alpha),
+            "learning rate alpha must lie in [0, 1], got {alpha}"
+        );
+        debug_assert!(
+            (0.0..=1.0).contains(&discount),
+            "discount factor must lie in [0, 1], got {discount}"
+        );
+        debug_assert!(reward.is_finite(), "reward must be finite, got {reward}");
+        let (_, future) = self.row_best(next_state);
+        let i = self.idx_fast(state, action);
+        self.values[i] = bellman_mix(self.values[i], reward, future, alpha, discount);
+        self.visits[i] += 1;
+        *self.updates += 1;
+    }
+}
+
+impl QArena {
+    /// An arena of `instances` copies of `template`'s values (zeroed
+    /// visit/update counters) — every lane starts from the template's
+    /// exact bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::EmptyDimension`] if `instances` is zero.
+    pub fn from_template(instances: usize, template: &QTable) -> Result<Self, RlError> {
+        RlError::check_nonempty("instances", instances)?;
+        let states = template.states();
+        let actions = template.actions();
+        let per = states * actions;
+        let mut values = Vec::with_capacity(instances * per);
+        for _ in 0..instances {
+            for s in 0..states {
+                values.extend_from_slice(template.row(s));
+            }
+        }
+        Ok(QArena {
+            instances,
+            states,
+            actions,
+            values,
+            visits: vec![0; instances * per],
+            updates: vec![0; instances],
+        })
+    }
+
+    /// An arena whose instance `i` starts from `templates[i]`'s values.
+    /// All templates must share one `(states, actions)` shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::EmptyDimension`] if `templates` is empty or
+    /// if the template shapes disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the templates disagree on shape (a fleet programming
+    /// error, caught eagerly).
+    pub fn from_templates(templates: &[QTable]) -> Result<Self, RlError> {
+        RlError::check_nonempty("instances", templates.len())?;
+        let states = templates[0].states();
+        let actions = templates[0].actions();
+        assert!(
+            templates
+                .iter()
+                .all(|t| t.states() == states && t.actions() == actions),
+            "all fleet instances must share one (states, actions) Q-table shape"
+        );
+        let per = states * actions;
+        let mut values = Vec::with_capacity(templates.len() * per);
+        for t in templates {
+            for s in 0..states {
+                values.extend_from_slice(t.row(s));
+            }
+        }
+        Ok(QArena {
+            instances: templates.len(),
+            states,
+            actions,
+            values,
+            visits: vec![0; templates.len() * per],
+            updates: vec![0; templates.len()],
+        })
+    }
+
+    /// Number of instances (lanes).
+    #[must_use]
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// States per instance.
+    #[must_use]
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Actions per instance.
+    #[must_use]
+    pub fn actions(&self) -> usize {
+        self.actions
+    }
+
+    #[inline]
+    fn base(&self, instance: usize) -> usize {
+        assert!(
+            instance < self.instances,
+            "instance {instance} out of range (instances = {})",
+            self.instances
+        );
+        instance * self.states * self.actions
+    }
+
+    /// One instance's row of Q-values for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` or `state` is out of range.
+    #[must_use]
+    pub fn row(&self, instance: usize, state: usize) -> &[f64] {
+        assert!(
+            state < self.states,
+            "state {state} out of range (states = {})",
+            self.states
+        );
+        let start = self.base(instance) + state * self.actions;
+        &self.values[start..start + self.actions]
+    }
+
+    /// One instance's Q-value for `(state, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn value(&self, instance: usize, state: usize, action: usize) -> f64 {
+        assert!(
+            action < self.actions,
+            "action {action} out of range (actions = {})",
+            self.actions
+        );
+        self.row(instance, state)[action]
+    }
+
+    /// One instance's visit count for `(state, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn visit_count(&self, instance: usize, state: usize, action: usize) -> u64 {
+        assert!(
+            state < self.states && action < self.actions,
+            "(state {state}, action {action}) out of range"
+        );
+        self.visits[self.base(instance) + state * self.actions + action]
+    }
+
+    /// Total Bellman updates applied to one instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range.
+    #[must_use]
+    pub fn update_count(&self, instance: usize) -> u64 {
+        assert!(
+            instance < self.instances,
+            "instance {instance} out of range (instances = {})",
+            self.instances
+        );
+        self.updates[instance]
+    }
+
+    /// One instance's mutable window (crate-internal: mutation from
+    /// outside goes through [`AgentLanes::begin_epoch`]).
+    pub(crate) fn view_mut(&mut self, instance: usize) -> InstanceView<'_> {
+        let per = self.states * self.actions;
+        let start = self.base(instance);
+        InstanceView {
+            values: &mut self.values[start..start + per],
+            visits: &mut self.visits[start..start + per],
+            updates: &mut self.updates[instance],
+            states: self.states,
+            actions: self.actions,
+        }
+    }
+
+    /// `row_best` evaluated **across the instance axis**: for each
+    /// instance `i`, the fused `(greedy_action, max_value)` of its row
+    /// `states[i]`, appended to `out` in instance order. One linear
+    /// sweep over the contiguous arena (instance-major layout means the
+    /// visited rows are in ascending address order), allocation-free
+    /// when `out` already has capacity for
+    /// [`instances`](QArena::instances) entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != instances` or any state is out of
+    /// range.
+    pub fn row_best_across(&self, states: &[usize], out: &mut Vec<(usize, f64)>) {
+        assert_eq!(
+            states.len(),
+            self.instances,
+            "one state per instance required"
+        );
+        out.clear();
+        out.reserve(self.instances);
+        let per = self.states * self.actions;
+        for (i, &s) in states.iter().enumerate() {
+            assert!(
+                s < self.states,
+                "state {s} out of range (states = {})",
+                self.states
+            );
+            let start = i * per + s * self.actions;
+            out.push(best_of_row(&self.values[start..start + self.actions]));
+        }
+    }
+
+    /// [`row_best_across`](QArena::row_best_across) with one broadcast
+    /// state: every instance's greedy `(action, value)` at `state` —
+    /// the cross-fleet policy-agreement probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn row_best_broadcast(&self, state: usize, out: &mut Vec<(usize, f64)>) {
+        assert!(
+            state < self.states,
+            "state {state} out of range (states = {})",
+            self.states
+        );
+        out.clear();
+        out.reserve(self.instances);
+        let per = self.states * self.actions;
+        for i in 0..self.instances {
+            let start = i * per + state * self.actions;
+            out.push(best_of_row(&self.values[start..start + self.actions]));
+        }
+    }
+
+    /// One instance's learnt greedy policy (one
+    /// [`row_best`](QTable::row_best)-equivalent scan per state),
+    /// written into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` is out of range.
+    pub fn policy_into(&self, instance: usize, out: &mut Vec<usize>) {
+        let base = self.base(instance);
+        out.clear();
+        out.reserve(self.states);
+        for s in 0..self.states {
+            let start = base + s * self.actions;
+            out.push(best_of_row(&self.values[start..start + self.actions]).0);
+        }
+    }
+}
+
+/// The specification of one fleet lane: its learning configuration,
+/// exploration policy and RNG seed. Configurations may differ between
+/// lanes (e.g. different seeds, rewards or ε schedules) as long as
+/// every lane shares the one `(states, actions)` arena shape.
+pub struct LaneSpec {
+    /// Learning hyper-parameters (validated at [`AgentLanes::new`]).
+    pub config: AgentConfig,
+    /// The lane's exploration policy.
+    pub policy: Box<dyn ExplorationPolicy + Send>,
+    /// The lane's RNG seed.
+    pub seed: u64,
+}
+
+/// N Q-learning agents over one contiguous [`QArena`]: the
+/// structure-of-arrays counterpart of N independent
+/// [`QLearningAgent`](crate::QLearningAgent)s, stepping bit-identically
+/// to them (shared initial tables, shared epoch body, shared kernels).
+pub struct AgentLanes {
+    arena: QArena,
+    cores: Vec<AgentCore>,
+}
+
+impl core::fmt::Debug for AgentLanes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AgentLanes")
+            .field("instances", &self.arena.instances)
+            .field("states", &self.arena.states)
+            .field("actions", &self.arena.actions)
+            .finish()
+    }
+}
+
+impl AgentLanes {
+    /// Builds the lanes: per-lane initial tables packed into one arena,
+    /// per-lane cores seeded independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty, any configuration is invalid, or
+    /// `states` is zero — the same contract as
+    /// [`QLearningAgent::with_policy`](crate::QLearningAgent::with_policy)
+    /// per lane.
+    #[must_use]
+    pub fn new(states: usize, actions: &ActionSpace, lanes: Vec<LaneSpec>) -> Self {
+        assert!(!lanes.is_empty(), "a fleet needs at least one lane");
+        let templates: Vec<QTable> = lanes
+            .iter()
+            .map(|lane| {
+                lane.config.validate().expect("invalid agent configuration");
+                initial_table(&lane.config, states, actions)
+            })
+            .collect();
+        let arena = QArena::from_templates(&templates).expect("non-empty lane list");
+        let cores = lanes
+            .into_iter()
+            .map(|lane| AgentCore::new(&lane.config, actions.clone(), lane.policy, lane.seed))
+            .collect();
+        AgentLanes { arena, cores }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// `false`: construction rejects empty fleets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shared Q arena (read access to every lane's values).
+    #[must_use]
+    pub fn arena(&self) -> &QArena {
+        &self.arena
+    }
+
+    /// Runs one decision epoch for `instance` — the exact
+    /// [`QLearningAgent::begin_epoch`](crate::QLearningAgent::begin_epoch)
+    /// body over the lane's arena window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` or `state` is out of range or `reward` is
+    /// not finite.
+    pub fn begin_epoch(&mut self, instance: usize, state: usize, reward: f64, slack: f64) -> usize {
+        let mut view = self.arena.view_mut(instance);
+        self.cores[instance].begin_epoch(&mut view, state, reward, slack)
+    }
+
+    /// One lane's current exploration probability ε.
+    #[must_use]
+    pub fn epsilon(&self, instance: usize) -> f64 {
+        self.cores[instance].epsilon_value()
+    }
+
+    /// One lane's cumulative exploratory (non-greedy) selections.
+    #[must_use]
+    pub fn exploration_count(&self, instance: usize) -> u64 {
+        self.cores[instance].exploration_count()
+    }
+
+    /// One lane's exploration count frozen at first convergence.
+    #[must_use]
+    pub fn explorations_to_convergence(&self, instance: usize) -> Option<u64> {
+        self.cores[instance].explorations_to_convergence()
+    }
+
+    /// One lane's first convergence epoch, if reached.
+    #[must_use]
+    pub fn converged_at(&self, instance: usize) -> Option<u64> {
+        self.cores[instance].converged_at()
+    }
+
+    /// Whether one lane's ε has decayed to its exploitation floor.
+    #[must_use]
+    pub fn is_exploitation(&self, instance: usize) -> bool {
+        self.cores[instance].is_exploitation()
+    }
+
+    /// One lane's elapsed epochs.
+    #[must_use]
+    pub fn epochs(&self, instance: usize) -> u64 {
+        self.cores[instance].epochs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DecayingEpsilon, EpdPolicy, QLearningAgent, UniformPolicy};
+
+    fn actions() -> ActionSpace {
+        ActionSpace::from_freqs_ghz(&[0.2, 0.6, 1.0, 1.4, 2.0])
+    }
+
+    fn spec(seed: u64, gradient: f64) -> LaneSpec {
+        LaneSpec {
+            config: AgentConfig {
+                optimistic_gradient: gradient,
+                ..AgentConfig::default()
+            },
+            policy: Box::new(EpdPolicy::paper()),
+            seed,
+        }
+    }
+
+    /// A deterministic pseudo-driver: the same (state, reward, slack)
+    /// sequence per instance, derived from the instance's own actions
+    /// so the Q trajectories genuinely differ between seeds.
+    fn drive<F: FnMut(usize, usize, f64, f64) -> usize>(
+        instances: usize,
+        epochs: u64,
+        states: usize,
+        mut step: F,
+    ) -> Vec<Vec<usize>> {
+        let mut traces = vec![Vec::new(); instances];
+        let mut last = vec![0usize; instances];
+        for e in 0..epochs {
+            for i in 0..instances {
+                let state = (e as usize + i) % states;
+                let reward = if last[i] == 1 { 1.0 } else { -0.25 };
+                let slack = 0.1 * (i as f64 + 1.0) / instances as f64;
+                let a = step(i, state, reward, slack);
+                traces[i].push(a);
+                last[i] = a;
+            }
+        }
+        traces
+    }
+
+    #[test]
+    fn lanes_are_bit_identical_to_standalone_agents() {
+        const STATES: usize = 6;
+        const N: usize = 4;
+        let seeds = [3u64, 11, 17, 99];
+        let gradient = 0.05;
+
+        let mut agents: Vec<QLearningAgent> = seeds
+            .iter()
+            .map(|&s| {
+                QLearningAgent::with_policy(
+                    AgentConfig {
+                        optimistic_gradient: gradient,
+                        ..AgentConfig::default()
+                    },
+                    STATES,
+                    actions(),
+                    Box::new(EpdPolicy::paper()),
+                    s,
+                )
+            })
+            .collect();
+        let mut lanes = AgentLanes::new(
+            STATES,
+            &actions(),
+            seeds.iter().map(|&s| spec(s, gradient)).collect(),
+        );
+
+        let flat = drive(N, 400, STATES, |i, s, r, l| agents[i].begin_epoch(s, r, l));
+        let soa = drive(N, 400, STATES, |i, s, r, l| lanes.begin_epoch(i, s, r, l));
+        assert_eq!(flat, soa, "action traces diverged");
+
+        for (i, agent) in agents.iter().enumerate() {
+            let q = agent.q_table();
+            assert_eq!(q.update_count(), lanes.arena().update_count(i));
+            for s in 0..STATES {
+                let flat_bits: Vec<u64> = q.row(s).iter().map(|v| v.to_bits()).collect();
+                let soa_bits: Vec<u64> = lanes
+                    .arena()
+                    .row(i, s)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(flat_bits, soa_bits, "instance {i} state {s} values");
+                for a in 0..actions().len() {
+                    assert_eq!(q.visit_count(s, a), lanes.arena().visit_count(i, s, a));
+                }
+            }
+            assert_eq!(agent.epsilon().to_bits(), lanes.epsilon(i).to_bits());
+            assert_eq!(agent.exploration_count(), lanes.exploration_count(i));
+            assert_eq!(agent.converged_at(), lanes.converged_at(i));
+        }
+    }
+
+    #[test]
+    fn duplicate_seed_lanes_with_identical_inputs_coincide() {
+        // Two lanes with the same seed fed the same (state, reward,
+        // slack) stream must learn bit-identical tables — the
+        // lane-level face of fleet duplicate-instance determinism.
+        let mut lanes = AgentLanes::new(4, &actions(), vec![spec(42, 0.05), spec(42, 0.05)]);
+        let mut last = [0usize; 2];
+        for e in 0..300u64 {
+            let state = e as usize % 4;
+            for (i, slot) in last.iter_mut().enumerate() {
+                let reward = if *slot == 2 { 0.5 } else { -0.5 };
+                *slot = lanes.begin_epoch(i, state, reward, 0.05);
+            }
+        }
+        assert_eq!(last[0], last[1]);
+        for s in 0..4 {
+            let a: Vec<u64> = lanes
+                .arena()
+                .row(0, s)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let b: Vec<u64> = lanes
+                .arena()
+                .row(1, s)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(a, b, "state {s}");
+        }
+        assert_eq!(lanes.epsilon(0).to_bits(), lanes.epsilon(1).to_bits());
+        assert_eq!(lanes.exploration_count(0), lanes.exploration_count(1));
+    }
+
+    #[test]
+    fn row_best_across_matches_per_instance_scans() {
+        let mut lanes = AgentLanes::new(
+            4,
+            &actions(),
+            (0..3).map(|i| spec(i, 0.05)).collect::<Vec<_>>(),
+        );
+        drive(3, 150, 4, |i, s, r, l| lanes.begin_epoch(i, s, r, l));
+
+        let states = [1usize, 3, 0];
+        let mut out = Vec::new();
+        lanes.arena().row_best_across(&states, &mut out);
+        assert_eq!(out.len(), 3);
+        for (i, &s) in states.iter().enumerate() {
+            let row = lanes.arena().row(i, s);
+            let expect = crate::qtable::best_of_row(row);
+            assert_eq!(out[i], expect, "instance {i}");
+        }
+
+        let mut broadcast = Vec::new();
+        lanes.arena().row_best_broadcast(2, &mut broadcast);
+        for (i, &(a, v)) in broadcast.iter().enumerate() {
+            let expect = crate::qtable::best_of_row(lanes.arena().row(i, 2));
+            assert_eq!((a, v.to_bits()), (expect.0, expect.1.to_bits()));
+        }
+    }
+
+    #[test]
+    fn from_template_replicates_values_and_zeroes_counters() {
+        let template = QTable::with_action_bias(2, 3, &[0.0, 0.01, 0.02]).unwrap();
+        let arena = QArena::from_template(3, &template).unwrap();
+        assert_eq!(arena.instances(), 3);
+        for i in 0..3 {
+            for s in 0..2 {
+                assert_eq!(arena.row(i, s), template.row(s));
+            }
+            assert_eq!(arena.update_count(i), 0);
+            assert_eq!(arena.visit_count(i, 0, 0), 0);
+        }
+        assert!(QArena::from_template(0, &template).is_err());
+    }
+
+    #[test]
+    fn policy_into_matches_qtable_policy() {
+        let mut lanes = AgentLanes::new(
+            5,
+            &actions(),
+            (0..2).map(|i| spec(i, 0.0)).collect::<Vec<_>>(),
+        );
+        drive(2, 120, 5, |i, s, r, l| lanes.begin_epoch(i, s, r, l));
+        let mut out = Vec::new();
+        for i in 0..2 {
+            lanes.arena().policy_into(i, &mut out);
+            let expect: Vec<usize> = (0..5)
+                .map(|s| crate::qtable::best_of_row(lanes.arena().row(i, s)).0)
+                .collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_lane_configs_share_one_arena() {
+        // Different ε schedules and policies per lane, one shape.
+        let lanes = vec![
+            LaneSpec {
+                config: AgentConfig::default(),
+                policy: Box::new(EpdPolicy::paper()),
+                seed: 1,
+            },
+            LaneSpec {
+                config: AgentConfig {
+                    epsilon: DecayingEpsilon::paper(),
+                    optimistic_gradient: 0.1,
+                    ..AgentConfig::default()
+                },
+                policy: Box::new(UniformPolicy::new()),
+                seed: 2,
+            },
+        ];
+        let lanes = AgentLanes::new(4, &actions(), lanes);
+        assert_eq!(lanes.len(), 2);
+        // Lane 1's optimistic gradient is visible in its arena rows,
+        // lane 0's rows stay zero.
+        assert_eq!(lanes.arena().value(0, 0, 4), 0.0);
+        assert!(lanes.arena().value(1, 0, 4) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_fleet_panics() {
+        let _ = AgentLanes::new(2, &actions(), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "one (states, actions)")]
+    fn mismatched_template_shapes_panic() {
+        let a = QTable::new(2, 3).unwrap();
+        let b = QTable::new(2, 4).unwrap();
+        let _ = QArena::from_templates(&[a, b]);
+    }
+}

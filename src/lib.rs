@@ -67,6 +67,9 @@ pub mod prelude {
         run_state_levels_ablation, run_state_levels_ablation_with, run_table1, run_table1_with,
         run_table2, run_table2_with, run_table3, run_table3_with,
     };
+    pub use qgov_bench::fleet::{
+        fleet_size_from_env, run_fleet, FleetEngine, FleetInstance, FleetOutcome, FleetSpec,
+    };
     pub use qgov_bench::harness::{
         precharacterize, run_experiment, run_experiment_monitored, ExperimentOutcome,
     };

@@ -283,4 +283,63 @@ fn steady_state_decision_epoch_is_allocation_free() {
         rtm.exploration_count() > explorations_before,
         "the ε floor must keep stochastic softmax selections firing"
     );
+
+    // Third phase: the fleet engine. One epoch across all instances —
+    // the SoA inversion of the loop above — must be just as heap-free
+    // in steady state: shared Q-arena, per-instance platforms/lanes,
+    // shared demand/frame scratch, windowed report folds pre-reserved
+    // by `reserve_frames`.
+    let fleet_seeds = [11u64, 12, 13];
+    let mut spec = FleetSpec::new(FRAMES);
+    for &seed in &fleet_seeds {
+        let config = RtmConfig::paper(seed)
+            .with_workload_bounds(1e7, 1e9)
+            .with_history(HistoryMode::LastN(64));
+        let app = SyntheticWorkload::constant(
+            "fleet-steady",
+            Cycles::from_mcycles(160),
+            SimTime::from_ms(40),
+            FRAMES,
+            4,
+            seed,
+        )
+        .with_noise(0.1);
+        spec.push(
+            config,
+            Box::new(app),
+            PlatformConfig {
+                sensor: SensorConfig::ideal(),
+                ..PlatformConfig::odroid_xu3_a15()
+            },
+        );
+    }
+    let mut engine = FleetEngine::new(spec.with_windowed_frames(50));
+    // Warm-up: past calibration-free learning start, the history rings'
+    // first compaction (2 × 64 epochs), every scratch buffer at
+    // capacity.
+    for _ in 0..WARMUP {
+        assert!(engine.step_epoch(), "fleet must still be running");
+    }
+    let before = allocation_count();
+    for _ in WARMUP..FRAMES {
+        engine.step_epoch();
+    }
+    let allocated = allocation_count() - before;
+    assert_eq!(
+        allocated,
+        0,
+        "fleet steady-state decision epochs must not allocate \
+         ({allocated} allocations over {} epochs x {} instances)",
+        MEASURED,
+        fleet_seeds.len()
+    );
+    assert_eq!(engine.epoch(), FRAMES);
+    // finish() allocates (report totals, outcome vectors) — after the
+    // measured window. The fleet really ran every instance to the end.
+    let outcome = engine.finish();
+    assert_eq!(outcome.total_frames, FRAMES * fleet_seeds.len() as u64);
+    for report in &outcome.reports {
+        assert_eq!(report.frames(), FRAMES);
+        assert!(report.frame_windows().is_some());
+    }
 }

@@ -141,8 +141,16 @@ impl Criterion {
                 "null".to_owned()
             }
         };
+        // Matching qgov-bench's perf module: stamp the source revision
+        // when CI exports one, omit the field otherwise.
+        let rev = std::env::var("QGOV_BENCH_REV")
+            .ok()
+            .map(|v| v.trim().to_owned())
+            .filter(|v| !v.is_empty())
+            .map(|v| format!(",\"rev\":\"{}\"", escape(&v)))
+            .unwrap_or_default();
         let line = format!(
-            "{{\"target\":\"{}\",\"metric\":\"{}\",\"mean\":{},\"sigma\":{},\"n\":{n}}}\n",
+            "{{\"target\":\"{}\",\"metric\":\"{}\",\"mean\":{},\"sigma\":{},\"n\":{n}{rev}}}\n",
             escape(target),
             escape(metric),
             num(mean_ns),
@@ -273,20 +281,29 @@ mod tests {
         let path = std::env::temp_dir().join(format!("criterion-json-test-{}", std::process::id()));
         let _ = std::fs::remove_file(&path);
         std::env::set_var("QGOV_BENCH_JSON", &path);
+        std::env::remove_var("QGOV_BENCH_REV");
         Criterion::default().emit_json("untargeted", 9.0, 0.0, 1);
         let c = Criterion::default().with_json_target("unit-test");
         c.emit_json("some_metric", 12.5, 0.25, 5);
         c.emit_json("with\"quote", 1.0, 0.0, 1);
+        std::env::set_var("QGOV_BENCH_REV", "abc1234");
+        c.emit_json("stamped", 2.0, 0.0, 1);
+        std::env::remove_var("QGOV_BENCH_REV");
         std::env::remove_var("QGOV_BENCH_JSON");
 
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2, "gated emissions must not write: {text}");
+        assert_eq!(lines.len(), 3, "gated emissions must not write: {text}");
         assert_eq!(
             lines[0],
             "{\"target\":\"unit-test\",\"metric\":\"some_metric\",\"mean\":12.5,\"sigma\":0.25,\"n\":5}"
         );
         assert!(lines[1].contains("with\\\"quote"));
+        assert!(!lines[1].contains("\"rev\""));
+        assert_eq!(
+            lines[2],
+            "{\"target\":\"unit-test\",\"metric\":\"stamped\",\"mean\":2,\"sigma\":0,\"n\":1,\"rev\":\"abc1234\"}"
+        );
     }
 }
