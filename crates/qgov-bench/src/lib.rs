@@ -78,6 +78,7 @@ pub mod manycore;
 pub mod perf;
 pub mod runner;
 pub mod sweep;
+pub mod worklist;
 
 pub use fleet::{
     fleet_size_from_env, run_fleet, FleetEngine, FleetInstance, FleetOutcome, FleetSpec,
@@ -94,3 +95,4 @@ pub use manycore::{run_manycore_experiment, run_manycore_experiment_monitored, M
 pub use perf::BenchRecord;
 pub use runner::{ExperimentBatch, RunnerConfig, RunnerMode};
 pub use sweep::{Aggregate, SeedSweep};
+pub use worklist::{CellMetrics, Family, WorkCell, WorkList};

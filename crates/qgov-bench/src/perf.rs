@@ -178,17 +178,17 @@ pub fn json_path() -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
-/// Appends `records` to the `QGOV_BENCH_JSON` file as JSON lines,
-/// stamping each with the `QGOV_BENCH_REV` revision when set (records
-/// that already carry a `rev` keep it).
+/// Appends `records` to `path` as JSON lines, stamping each with the
+/// `QGOV_BENCH_REV` revision when set (records that already carry a
+/// `rev` keep it). This is the explicit-path write the `qgov report
+/// --bench-json` command drives directly; [`append_records`] is the
+/// `QGOV_BENCH_JSON`-driven wrapper the bench targets use.
 ///
-/// A no-op when the variable is unset. Write failures are reported on
-/// stderr and swallowed — a bench run must not die on a read-only
-/// filesystem. Returns how many records were appended.
-pub fn append_records(records: &[BenchRecord]) -> usize {
-    let Some(path) = json_path() else {
-        return 0;
-    };
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be opened or
+/// appended to.
+pub fn append_records_to(path: &std::path::Path, records: &[BenchRecord]) -> std::io::Result<()> {
     let rev = bench_rev();
     let mut body = String::new();
     for r in records {
@@ -201,12 +201,24 @@ pub fn append_records(records: &[BenchRecord]) -> usize {
         }
         body.push('\n');
     }
-    let appended = std::fs::OpenOptions::new()
+    std::fs::OpenOptions::new()
         .create(true)
         .append(true)
-        .open(&path)
-        .and_then(|mut f| f.write_all(body.as_bytes()));
-    match appended {
+        .open(path)
+        .and_then(|mut f| f.write_all(body.as_bytes()))
+}
+
+/// Appends `records` to the `QGOV_BENCH_JSON` file as JSON lines via
+/// [`append_records_to`].
+///
+/// A no-op when the variable is unset. Write failures are reported on
+/// stderr and swallowed — a bench run must not die on a read-only
+/// filesystem. Returns how many records were appended.
+pub fn append_records(records: &[BenchRecord]) -> usize {
+    let Some(path) = json_path() else {
+        return 0;
+    };
+    match append_records_to(&path, records) {
         Ok(()) => {
             println!(
                 "appended {} bench record(s) to {}",

@@ -1,0 +1,408 @@
+//! Campaign state directories: init, kill-safe execution, resume, and
+//! the bit-exact report.
+//!
+//! A state dir holds three files:
+//!
+//! * `campaign.toml` — the config's canonical rendering, written at
+//!   init so `resume`/`report` need no original config path;
+//! * `journal.log` — the append-only completed-cell journal
+//!   ([`crate::journal`]), the durability source of truth;
+//! * `snapshot.log` — an atomically-replaced snapshot of the completed
+//!   set, refreshed every [`CampaignConfig::snapshot_every`] appends
+//!   (an optimisation: resume unions snapshot ∪ journal, so losing the
+//!   snapshot costs nothing but journal-replay time).
+//!
+//! # The bit-identity argument
+//!
+//! [`render_report`] reads **only** journaled bits: every `f64` in the
+//! report comes from a journal line's bit pattern, cells are
+//! enumerated in work-list order (never journal order), and
+//! [`MetricSummary::from_samples`] sorts its samples. So the report is
+//! a pure function of {config, set of completed cells}. Since
+//! [`qgov_bench::worklist::WorkList::run_cell`] is bit-deterministic
+//! and scheduling-independent,
+//! an interrupted campaign that reruns its missing cells lands on the
+//! same completed set — and therefore the byte-identical report — as a
+//! campaign that was never killed, under any worker count. That is the
+//! property `tests/campaign_resume.rs` enforces with real kills.
+
+use crate::config::{CampaignConfig, ConfigError, MonitorChoice};
+use crate::journal::{self, CellRecord, JournalError, JournalWriter};
+use qgov_bench::perf::BenchRecord;
+use qgov_bench::worklist::Family;
+use qgov_bench::{ExperimentBatch, RunnerConfig};
+use qgov_metrics::{MetricSummary, SweepFormat, SweepTable};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// File name of the canonical config inside a state dir.
+pub const CONFIG_FILE: &str = "campaign.toml";
+/// File name of the append-only journal inside a state dir.
+pub const JOURNAL_FILE: &str = "journal.log";
+/// File name of the periodic snapshot inside a state dir.
+pub const SNAPSHOT_FILE: &str = "snapshot.log";
+
+/// Why a campaign operation failed.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The config file was invalid (CLI exit code 3).
+    Config(ConfigError),
+    /// Journal or snapshot rejected (CLI exit code 4).
+    Journal(JournalError),
+    /// Any other state-dir problem (CLI exit code 4).
+    State(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Config(e) => e.fmt(f),
+            CampaignError::Journal(e) => e.fmt(f),
+            CampaignError::State(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<ConfigError> for CampaignError {
+    fn from(e: ConfigError) -> Self {
+        CampaignError::Config(e)
+    }
+}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
+    }
+}
+
+fn config_path(dir: &Path) -> PathBuf {
+    dir.join(CONFIG_FILE)
+}
+fn journal_path(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+/// Initialises a state dir for `config`: creates the directory, writes
+/// the canonical config, and creates the journal with its header.
+/// Refuses a directory that already holds a journal — that is what
+/// `resume` is for.
+///
+/// # Errors
+///
+/// [`CampaignError::State`] on an already-initialised dir or
+/// filesystem failure.
+pub fn init(dir: &Path, config: &CampaignConfig) -> Result<(), CampaignError> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        CampaignError::State(format!("cannot create state dir {}: {e}", dir.display()))
+    })?;
+    let journal = journal_path(dir);
+    if journal.exists() {
+        return Err(CampaignError::State(format!(
+            "{} already holds a campaign journal — use `qgov resume {}` to continue it, \
+             or point --state at a fresh directory",
+            dir.display(),
+            dir.display()
+        )));
+    }
+    std::fs::write(config_path(dir), config.canonical()).map_err(|e| {
+        CampaignError::State(format!("cannot write {}: {e}", config_path(dir).display()))
+    })?;
+    // Creates the header (and honours QGOV_CAMPAIGN_KILL_AFTER=0).
+    let _writer = JournalWriter::create(&journal, config.fingerprint())?;
+    Ok(())
+}
+
+/// Loads the canonical config a state dir was initialised with.
+///
+/// # Errors
+///
+/// [`CampaignError::State`] when the dir or its `campaign.toml` is
+/// missing; [`CampaignError::Config`] when the file no longer parses.
+pub fn load(dir: &Path) -> Result<CampaignConfig, CampaignError> {
+    let path = config_path(dir);
+    if !path.exists() {
+        return Err(CampaignError::State(format!(
+            "{} is not a campaign state dir (no {CONFIG_FILE}); \
+             run `qgov sweep --state {}` first",
+            dir.display(),
+            dir.display()
+        )));
+    }
+    Ok(CampaignConfig::from_file(&path)?)
+}
+
+/// The durable progress of a campaign: its completed cells (snapshot ∪
+/// journal, validated and deduplicated), scan diagnostics, and the
+/// journal's clean byte length for tail repair.
+#[derive(Debug)]
+pub struct Progress {
+    /// Completed cells by ID.
+    pub cells: HashMap<String, CellRecord>,
+    /// Diagnostics from the journal scan and the snapshot union.
+    pub warnings: Vec<String>,
+    /// Parseable journal prefix length (see [`journal::ScanOutcome`]).
+    pub journal_clean_len: u64,
+}
+
+/// Reads a campaign's durable progress.
+///
+/// # Errors
+///
+/// Propagates journal/snapshot rejections ([`CampaignError::Journal`])
+/// — including the snapshot-vs-journal bit conflict, which is treated
+/// exactly like a duplicate-entry conflict inside one file.
+pub fn progress(dir: &Path, config: &CampaignConfig) -> Result<Progress, CampaignError> {
+    let fingerprint = config.fingerprint();
+    let ids: HashSet<String> = config
+        .worklist()
+        .cells()
+        .into_iter()
+        .map(|c| c.id)
+        .collect();
+
+    let snapshot = journal::read_snapshot(&snapshot_path(dir), fingerprint)?;
+    let scan = journal::scan(&journal_path(dir), fingerprint, |id| ids.contains(id))?;
+
+    let mut cells: HashMap<String, CellRecord> = HashMap::new();
+    let mut warnings = scan.warnings;
+    for record in snapshot {
+        if !ids.contains(&record.id) {
+            return Err(CampaignError::Journal(JournalError::Corrupt {
+                path: snapshot_path(dir),
+                line: 0,
+                message: format!(
+                    "snapshot cell {} is not in this campaign's work list",
+                    record.id
+                ),
+            }));
+        }
+        cells.insert(record.id.clone(), record);
+    }
+    for record in scan.cells {
+        match cells.get(&record.id) {
+            Some(existing) if *existing != record => {
+                return Err(CampaignError::Journal(JournalError::Conflict {
+                    path: journal_path(dir),
+                    id: record.id,
+                }));
+            }
+            _ => {
+                cells.insert(record.id.clone(), record);
+            }
+        }
+    }
+    if cells.len() == ids.len() {
+        warnings.retain(|w| !w.contains("torn")); // nothing left to rerun
+    }
+    Ok(Progress {
+        cells,
+        warnings,
+        journal_clean_len: scan.clean_len,
+    })
+}
+
+/// What a [`run`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Total cells in the work list.
+    pub total: usize,
+    /// Cells executed by this invocation.
+    pub ran: usize,
+    /// Cells already durable before this invocation.
+    pub skipped: usize,
+}
+
+/// Runs every not-yet-journaled cell of the campaign under `runner`,
+/// journaling each completion and refreshing the snapshot every
+/// `snapshot_every` appends. Per-cell completions are logged to
+/// stderr; stdout stays clean for report piping.
+///
+/// # Errors
+///
+/// Propagates journal failures; a cell whose journal append fails
+/// stops the campaign with [`CampaignError::State`] (its result is
+/// lost, but the journal is still consistent and resumable).
+pub fn run(
+    dir: &Path,
+    config: &CampaignConfig,
+    runner: &RunnerConfig,
+) -> Result<RunSummary, CampaignError> {
+    let worklist = config.worklist();
+    let fingerprint = config.fingerprint();
+    let before = progress(dir, config)?;
+    for warning in &before.warnings {
+        eprintln!("warning: {warning}");
+    }
+    let writer =
+        JournalWriter::open_append(&journal_path(dir), fingerprint, before.journal_clean_len)?;
+
+    let total = worklist.len();
+    let skipped = before.cells.len();
+    let remaining: Vec<_> = worklist
+        .cells()
+        .into_iter()
+        .filter(|cell| !before.cells.contains_key(&cell.id))
+        .collect();
+    let ran = remaining.len();
+
+    // Completion lock: journal append + snapshot cadence are serialised;
+    // the cell computations themselves run outside it.
+    struct Shared {
+        writer: JournalWriter,
+        done: Vec<CellRecord>,
+        since_snapshot: u64,
+    }
+    let shared = Mutex::new(Shared {
+        writer,
+        done: before.cells.values().cloned().collect(),
+        since_snapshot: 0,
+    });
+    let snap = snapshot_path(dir);
+
+    let mut batch = ExperimentBatch::new();
+    let worklist_ref = &worklist;
+    let shared_ref = &shared;
+    let snap_ref = &snap;
+    for cell in remaining {
+        batch.push(cell.id.clone(), move || -> Result<(), String> {
+            let metrics = worklist_ref.run_cell(&cell);
+            let record = CellRecord::new(cell.id.clone(), metrics);
+            let mut guard = shared_ref.lock().expect("completion lock poisoned");
+            guard.writer.append(&record).map_err(|e| e.to_string())?;
+            guard.done.push(record);
+            guard.since_snapshot += 1;
+            let completed = guard.done.len();
+            if guard.since_snapshot >= config.snapshot_every {
+                guard.since_snapshot = 0;
+                journal::write_snapshot(snap_ref, fingerprint, &guard.done)
+                    .map_err(|e| e.to_string())?;
+            }
+            eprintln!("cell {} done ({completed}/{total})", cell.id);
+            Ok(())
+        });
+    }
+    let results = batch.run(runner);
+    if let Some(Err(message)) = results.into_iter().find(Result::is_err) {
+        return Err(CampaignError::State(format!(
+            "campaign cell failed to journal: {message}"
+        )));
+    }
+
+    let guard = shared.into_inner().expect("completion lock poisoned");
+    journal::write_snapshot(&snap, fingerprint, &guard.done)?;
+    Ok(RunSummary {
+        total,
+        ran,
+        skipped,
+    })
+}
+
+/// A campaign report assembled purely from journaled bits (see the
+/// module docs for why this makes resumed and uninterrupted campaigns
+/// byte-identical). Returns the report text; incomplete campaigns
+/// report the cells done so far and say so.
+///
+/// # Errors
+///
+/// Propagates journal/snapshot rejections.
+pub fn render_report(dir: &Path, config: &CampaignConfig) -> Result<String, CampaignError> {
+    let (table, completed, total) = fold_metrics(dir, config)?;
+    let mut out = String::new();
+    out.push_str(&format!("campaign {} ({})\n", config.name, config.family));
+    out.push_str(&format!(
+        "config fingerprint: {:016x}\n",
+        config.fingerprint()
+    ));
+    let seeds: Vec<String> = config.seeds.iter().map(u64::to_string).collect();
+    out.push_str(&format!("seeds: [{}]\n", seeds.join(", ")));
+    out.push_str(&format!("frames: {}\n", config.frames));
+    if config.family == Family::Fleet {
+        out.push_str(&format!("fleet: {} instances per cell\n", config.fleet));
+    }
+    if config.monitors != MonitorChoice::Off {
+        out.push_str(&format!("monitors: {}\n", config.monitors.name()));
+    }
+    out.push_str(&format!("cells complete: {completed}/{total}\n"));
+    out.push('\n');
+    match table {
+        Some(table) => out.push_str(&table.render()),
+        None => out.push_str("no completed cells yet — run `qgov resume` to continue\n"),
+    }
+    Ok(out)
+}
+
+/// The report's aggregates as machine-readable [`BenchRecord`]s
+/// (target `campaign/<name>`), for `qgov report --bench-json`.
+///
+/// # Errors
+///
+/// Propagates journal/snapshot rejections.
+pub fn bench_records(
+    dir: &Path,
+    config: &CampaignConfig,
+) -> Result<Vec<BenchRecord>, CampaignError> {
+    let (summaries, _, _) = fold_summaries(dir, config)?;
+    let target = format!("campaign/{}", config.name);
+    Ok(summaries
+        .into_iter()
+        .map(|(metric, summary)| BenchRecord::from_summary(&target, metric, &summary))
+        .collect())
+}
+
+/// Per-metric summaries in deterministic order, plus
+/// (completed, total) cell counts.
+type FoldedSummaries = (Vec<(String, MetricSummary)>, usize, usize);
+
+/// Folds journaled cells into per-metric summaries: metric order is
+/// first appearance scanning cells in **work-list order**, samples per
+/// metric likewise — deterministic however the journal was laid down.
+fn fold_summaries(dir: &Path, config: &CampaignConfig) -> Result<FoldedSummaries, CampaignError> {
+    let done = progress(dir, config)?;
+    let cells = config.worklist().cells();
+    let total = cells.len();
+    let mut order: Vec<String> = Vec::new();
+    let mut samples: HashMap<String, Vec<f64>> = HashMap::new();
+    let mut completed = 0usize;
+    for cell in &cells {
+        let Some(record) = done.cells.get(&cell.id) else {
+            continue;
+        };
+        completed += 1;
+        for (name, value) in &record.metrics {
+            if !samples.contains_key(name) {
+                order.push(name.clone());
+            }
+            samples.entry(name.clone()).or_default().push(*value);
+        }
+    }
+    let summaries = order
+        .into_iter()
+        .map(|name| {
+            let summary = MetricSummary::from_samples(&samples[&name]);
+            (name, summary)
+        })
+        .collect();
+    Ok((summaries, completed, total))
+}
+
+fn fold_metrics(
+    dir: &Path,
+    config: &CampaignConfig,
+) -> Result<(Option<SweepTable>, usize, usize), CampaignError> {
+    let (summaries, completed, total) = fold_summaries(dir, config)?;
+    if summaries.is_empty() {
+        return Ok((None, completed, total));
+    }
+    let mut table = SweepTable::new("Metric", vec![("Value", SweepFormat::Fixed(4))]);
+    for (name, summary) in summaries {
+        table.add_row(name, vec![summary]);
+    }
+    Ok((Some(table), completed, total))
+}

@@ -1,0 +1,81 @@
+//! Property test: journal cell lines round-trip exactly —
+//! `parse_cell_line ∘ render_cell_line` is the identity, for arbitrary
+//! token-safe IDs, metric names, *bit patterns* (including NaNs,
+//! infinities and signed zeros) and forward-compat extras.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use qgov_cli::journal::{parse_cell_line, render_cell_line, CellRecord};
+
+/// A non-empty token drawn from `charset`.
+fn token(charset: &'static str, max_len: usize) -> impl Strategy<Value = String> {
+    let chars: Vec<char> = charset.chars().collect();
+    vec(0usize..chars.len(), 1..=max_len)
+        .prop_map(move |indices| indices.into_iter().map(|i| chars[i]).collect())
+}
+
+/// Work-list-shaped cell IDs: no whitespace, `=` and `/` allowed.
+fn cell_id() -> impl Strategy<Value = String> {
+    token("abcdefghijklmnopqrstuvwxyz0123456789/=._-", 40)
+}
+
+/// Metric names: no whitespace and no `=`.
+fn metric_name() -> impl Strategy<Value = String> {
+    token("abcdefghijklmnopqrstuvwxyz0123456789_/.", 24)
+}
+
+/// Extra values: never 16 lowercase hex digits (the charset has no hex
+/// digits at all), so they can never be re-classified as metrics.
+fn extra_value() -> impl Strategy<Value = String> {
+    token("ghijklmnopqrstuvwxyz-.:", 20)
+}
+
+fn record() -> impl Strategy<Value = CellRecord> {
+    (
+        cell_id(),
+        vec((metric_name(), 0u64..=u64::MAX), 1..=5),
+        vec((metric_name(), extra_value()), 0..=3),
+    )
+        .prop_map(|(id, raw_metrics, extras)| CellRecord {
+            id,
+            metrics: raw_metrics
+                .into_iter()
+                .map(|(name, bits)| (name, f64::from_bits(bits)))
+                .collect(),
+            extras,
+        })
+}
+
+type RecordBits = (String, Vec<(String, u64)>, Vec<(String, String)>);
+
+fn bits_of(record: &CellRecord) -> RecordBits {
+    (
+        record.id.clone(),
+        record
+            .metrics
+            .iter()
+            .map(|(name, value)| (name.clone(), value.to_bits()))
+            .collect(),
+        record.extras.clone(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_render_is_identity(rec in record()) {
+        let line = render_cell_line(&rec);
+        let parsed = parse_cell_line(&line)
+            .unwrap_or_else(|e| panic!("rendered line {line:?} failed to parse: {e}"));
+        prop_assert_eq!(bits_of(&parsed), bits_of(&rec), "line was {:?}", line);
+    }
+
+    /// Rendering is also stable: render ∘ parse ∘ render = render.
+    #[test]
+    fn render_is_stable_under_reparse(rec in record()) {
+        let line = render_cell_line(&rec);
+        let reparsed = parse_cell_line(&line).unwrap();
+        prop_assert_eq!(render_cell_line(&reparsed), line);
+    }
+}

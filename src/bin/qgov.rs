@@ -1,0 +1,6 @@
+//! The `qgov` operator binary: a thin shim over [`qgov_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(qgov_cli::run(&args));
+}

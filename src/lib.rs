@@ -44,11 +44,13 @@
 //! | [`core`] | the paper's RTM: `RtmGovernor` + `RtmConfig` |
 //! | [`metrics`] | run reports, misprediction stats, tables, series |
 //! | [`mod@bench`] | the experiment harness, batched parallel runner, per-table experiment functions |
+//! | [`cli`] | the `qgov` operator binary: journaled, kill-and-resume campaigns |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use qgov_bench as bench;
+pub use qgov_cli as cli;
 pub use qgov_core as core;
 pub use qgov_governors as governors;
 pub use qgov_metrics as metrics;
@@ -92,6 +94,10 @@ pub mod prelude {
         run_state_levels_ablation_sweep_with, run_table1_sweep, run_table1_sweep_with,
         run_table2_sweep, run_table2_sweep_with, run_table3_sweep, run_table3_sweep_with,
         Aggregate, SeedSweep,
+    };
+    pub use qgov_bench::worklist::{
+        fleet_cell_app, fleet_cell_config, fleet_cell_platform, slug, CellMetrics, Family,
+        WorkCell, WorkList,
     };
     pub use qgov_core::{
         EpochRecord, ExplorationKind, GreedyMigration, HistoryMode, ManyCoreRtm, MigrationConfig,

@@ -165,6 +165,66 @@ fn duplicate_seed_instances_coincide_exactly() {
 }
 
 #[test]
+fn campaign_fleet_cells_match_flat_cross_product() {
+    // The campaign-level pin: a `fleet` work-list cell (what `qgov
+    // sweep` journals for a `family = "fleet"` campaign) crossed over
+    // QGOV_FLEET-style fleet sizes and QGOV_SEEDS-style seed sets must
+    // reproduce the flat harness bit-for-bit, instance by instance.
+    let frames = 150;
+    for fleet_size in [1usize, 3] {
+        let list = WorkList::new(Family::Fleet, vec![5, 9], frames).with_fleet(fleet_size);
+        assert_eq!(list.len(), 2);
+        for cell in &list.cells() {
+            assert_eq!(
+                cell.id,
+                format!(
+                    "fleet/seed={}/frames={frames}/fleet={fleet_size}",
+                    cell.seed
+                )
+            );
+            let metrics: std::collections::HashMap<String, f64> =
+                list.run_cell(cell).into_iter().collect();
+            for i in 0..fleet_size as u64 {
+                let instance_seed = cell.seed.wrapping_add(i);
+                let mut rtm = RtmGovernor::new(fleet_cell_config(instance_seed)).unwrap();
+                let flat = run_experiment(
+                    &mut rtm,
+                    &mut fleet_cell_app(instance_seed, frames),
+                    fleet_cell_platform(),
+                    frames,
+                );
+                for (key, flat_value) in [
+                    (format!("miss_rate/i{i}"), flat.report.miss_rate()),
+                    (
+                        format!("normalized_performance/i{i}"),
+                        flat.report.normalized_performance(),
+                    ),
+                    (format!("mean_opp/i{i}"), flat.report.mean_opp()),
+                    (
+                        format!("energy_joules/i{i}"),
+                        flat.report.total_energy().as_joules(),
+                    ),
+                ] {
+                    let cell_value = *metrics
+                        .get(&key)
+                        .unwrap_or_else(|| panic!("cell {} lacks metric {key}", cell.id));
+                    assert_eq!(
+                        cell_value.to_bits(),
+                        flat_value.to_bits(),
+                        "cell {} metric {key}: campaign cell diverged from flat harness",
+                        cell.id
+                    );
+                }
+            }
+            assert_eq!(
+                metrics["fleet_total_frames"],
+                frames as f64 * fleet_size as f64
+            );
+        }
+    }
+}
+
+#[test]
 fn windowed_fleet_keeps_scalars_identical_to_flat_run() {
     let frames = 300;
     let seed = 31;
