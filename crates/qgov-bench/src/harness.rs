@@ -29,7 +29,10 @@
 
 use qgov_governors::{EpochObservation, Governor, GovernorContext, VfDecision};
 use qgov_metrics::{MonitorSample, PropertySet, RunReport};
-use qgov_sim::{FrameResult, Platform, PlatformConfig, SimError, VfDomain, WorkSlice};
+use qgov_sim::{
+    Actuation, FaultInjector, FaultPlan, FrameResult, Platform, PlatformConfig, SimError, VfDomain,
+    WorkSlice,
+};
 use qgov_workloads::{Application, FrameDemand, WorkloadTrace};
 
 /// Everything a finished run yields: the metrics report plus the
@@ -146,6 +149,217 @@ pub fn run_experiment_monitored(
     let mut outcome = run_experiment_inner(governor, app, platform_config, frames, Some(monitors));
     outcome.report.set_monitor_report(monitors.report());
     outcome
+}
+
+/// Rewrites a governor decision through the injector's actuation fault
+/// for this epoch — the seam where a faulty voltage regulator sits
+/// between the RTM's request and the hardware:
+///
+/// * `Honest` — the request goes through unchanged. If a latched-fault
+///   window just closed with a request still buffered, that delayed
+///   request lands now *unless* the governor issued a newer one this
+///   epoch (the newer request supersedes the stale buffer).
+/// * `Ignored` — the request is dropped; the platform keeps its OPP.
+/// * `Clamped(max)` — a real request is resolved to a cluster index and
+///   capped at `max`; `NoChange` stays `NoChange` (nothing to clamp).
+/// * `Latched` — a real request is buffered and the *previous* buffered
+///   request (if any) is applied instead: every request lands one epoch
+///   late for the duration of the fault window.
+///
+/// With an [empty plan](FaultPlan::is_empty) the actuation is always
+/// `Honest` with no buffered request, so the decision passes through
+/// untouched — the bit-identity contract of the faulted harnesses.
+pub(crate) fn faulted_decision(
+    injector: &mut FaultInjector,
+    epoch: u64,
+    cluster: usize,
+    current_opp: usize,
+    decision: VfDecision,
+) -> VfDecision {
+    match injector.actuation(epoch, cluster) {
+        Actuation::Honest => {
+            if let Some(delayed) = injector.take_latched(cluster) {
+                if matches!(decision, VfDecision::NoChange) {
+                    return VfDecision::Cluster(delayed);
+                }
+            }
+            decision
+        }
+        Actuation::Ignored => VfDecision::NoChange,
+        Actuation::Clamped(max_opp) => match decision {
+            VfDecision::NoChange => VfDecision::NoChange,
+            other => VfDecision::Cluster(other.resolve_cluster(current_opp).min(max_opp)),
+        },
+        Actuation::Latched => match decision {
+            VfDecision::NoChange => injector
+                .take_latched(cluster)
+                .map_or(VfDecision::NoChange, VfDecision::Cluster),
+            other => {
+                let requested = other.resolve_cluster(current_opp);
+                injector
+                    .exchange_latched(cluster, requested)
+                    .map_or(VfDecision::NoChange, VfDecision::Cluster)
+            }
+        },
+    }
+}
+
+/// [`run_experiment`] under a deterministic fault schedule: the
+/// injector perturbs what the governor *senses*, rewrites what it
+/// *actuates*, and redistributes the work of dropped cores — while the
+/// report and any monitors keep observing ground truth.
+///
+/// Per epoch the loop:
+/// 1. builds the frame's work slices, then moves any dead core's work
+///    onto the survivors ([`FaultInjector::redistribute_dead`] — the
+///    scheduler sees the drop-out, so its cycles land elsewhere);
+/// 2. executes the frame and records **truth** in the report;
+/// 3. copies the frame result and perturbs the copy
+///    ([`FaultInjector::perturb_sensing`]) — the governor decides on
+///    the faulted view;
+/// 4. rewrites the decision through the actuation fault
+///    (`faulted_decision`) before applying it.
+///
+/// Timing channels (`frame_time`, `wall_time`, slack) are never
+/// faulted: the frame barrier is scheduler-observable, not a sensor.
+/// Only the sensed copy's power / temperature / PMU channels can lie.
+///
+/// With an empty `plan` every injector step is a no-op and the run is
+/// bit-identical to [`run_experiment`] (`tests/fault_injection.rs` pins
+/// this property across governor families).
+///
+/// # Panics
+///
+/// Panics as [`run_experiment`] does, and if `plan` names a cluster
+/// other than 0 or a core outside the platform (flat harness = one
+/// cluster).
+pub fn run_experiment_faulted(
+    governor: &mut dyn Governor,
+    app: &mut dyn Application,
+    platform_config: PlatformConfig,
+    frames: u64,
+    plan: &FaultPlan,
+    fault_seed: u64,
+) -> ExperimentOutcome {
+    run_experiment_faulted_inner(
+        governor,
+        app,
+        platform_config,
+        frames,
+        plan,
+        fault_seed,
+        None,
+    )
+}
+
+/// [`run_experiment_faulted`] with a streaming temporal-property
+/// monitor riding along. The monitors observe **ground truth** — the
+/// unperturbed frame results — so a thermal-cap property checks the
+/// real die temperature even while the governor is fed a stuck sensor.
+pub fn run_experiment_faulted_monitored(
+    governor: &mut dyn Governor,
+    app: &mut dyn Application,
+    platform_config: PlatformConfig,
+    frames: u64,
+    plan: &FaultPlan,
+    fault_seed: u64,
+    monitors: &mut PropertySet<MonitorSample>,
+) -> ExperimentOutcome {
+    let mut outcome = run_experiment_faulted_inner(
+        governor,
+        app,
+        platform_config,
+        frames,
+        plan,
+        fault_seed,
+        Some(monitors),
+    );
+    outcome.report.set_monitor_report(monitors.report());
+    outcome
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_experiment_faulted_inner(
+    governor: &mut dyn Governor,
+    app: &mut dyn Application,
+    platform_config: PlatformConfig,
+    frames: u64,
+    plan: &FaultPlan,
+    fault_seed: u64,
+    mut monitors: Option<&mut PropertySet<MonitorSample>>,
+) -> ExperimentOutcome {
+    let mut platform = Platform::new(platform_config).expect("valid platform config");
+    let period = app.period();
+    let cores = platform.cores();
+    let ctx = GovernorContext::new(platform.opp_table().clone(), cores, period);
+    let mut injector = FaultInjector::single(plan, fault_seed, cores);
+
+    app.reset();
+    let pristine_first = debug_probe_reset_determinism(app);
+    let first = governor.init(&ctx);
+    apply_decision(&mut platform, &first).expect("initial decision in range");
+
+    let total = frames.min(app.frames());
+    let mut report = RunReport::new(governor.name(), app.name(), period);
+    report.reserve_frames(usize::try_from(total).unwrap_or(usize::MAX));
+
+    // Same allocation-free steady state as `run_experiment_inner`, plus
+    // one extra reused slot: the sensed copy the injector perturbs.
+    let mut demand = FrameDemand::default();
+    let mut work = vec![WorkSlice::IDLE; cores];
+    let mut frame = FrameResult::empty();
+    let mut sensed = FrameResult::empty();
+    for epoch in 0..total {
+        injector.begin_epoch(epoch);
+        app.next_frame_into(&mut demand);
+        to_work_slices_into(&demand, &mut work);
+        // Work whose every candidate core is dead never executes: such
+        // a frame is incomplete, i.e. a missed deadline, however fast
+        // the surviving (idle) cores cross the barrier.
+        let lost = injector.redistribute_dead(0, &mut work);
+        platform
+            .run_frame_into(&work, period, &mut frame)
+            .expect("work vector sized to cores");
+        let met = frame.met_deadline() && lost.is_zero();
+        report.record_frame(
+            frame.frame_time,
+            frame.wall_time,
+            frame.energy,
+            frame.cluster_opp,
+            met,
+        );
+        sensed.copy_from(&frame);
+        injector.perturb_sensing(epoch, 0, &mut sensed);
+        let decision = governor.decide(&EpochObservation {
+            frame: &sensed,
+            epoch,
+        });
+        if let Some(monitors) = monitors.as_deref_mut() {
+            // Truth, not the sensed copy: properties such as the
+            // thermal cap must hold on the die, not on a lying sensor.
+            monitors.observe(&MonitorSample {
+                epoch,
+                frame_time_ratio: frame.frame_time.ratio(period),
+                met_deadline: met,
+                opp: frame.cluster_opp,
+                temperature_c: frame.temperature.as_celsius(),
+                energy_j: frame.energy.as_joules(),
+                epsilon: governor.exploration_epsilon().unwrap_or(f64::NAN),
+                converged: governor.has_converged().unwrap_or(false),
+            });
+        }
+        let actual = faulted_decision(&mut injector, epoch, 0, platform.current_opp(), decision);
+        apply_decision(&mut platform, &actual).expect("decision in range");
+        platform.add_overhead(governor.processing_overhead());
+    }
+    report.set_run_totals(
+        platform.total_energy(),
+        platform.vf().transitions(),
+        platform.vf().total_latency(),
+        platform.peak_temperature(),
+    );
+    debug_assert_no_run_state_bleed(app, pristine_first.as_ref(), total);
+    ExperimentOutcome { report, platform }
 }
 
 fn run_experiment_inner(
@@ -548,5 +762,83 @@ mod tests {
             outcome.report.total_energy().as_joules().to_bits()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_fault_free() {
+        let plain = {
+            let mut gov = OndemandGovernor::linux_default();
+            run_experiment(&mut gov, &mut medium_app(80), quiet_config(), 80)
+        };
+        let faulted = {
+            let mut gov = OndemandGovernor::linux_default();
+            run_experiment_faulted(
+                &mut gov,
+                &mut medium_app(80),
+                quiet_config(),
+                80,
+                &FaultPlan::none(),
+                0xFA17,
+            )
+        };
+        assert_eq!(
+            plain.report.total_energy().as_joules().to_bits(),
+            faulted.report.total_energy().as_joules().to_bits()
+        );
+        assert_eq!(plain.report.mean_opp(), faulted.report.mean_opp());
+        assert_eq!(
+            plain.platform.vf().transitions(),
+            faulted.platform.vf().transitions()
+        );
+    }
+
+    #[test]
+    fn ignored_actuation_pins_the_governor_out_of_the_loop() {
+        use qgov_sim::{Fault, FaultKind};
+        let plan = FaultPlan::none().with(Fault::permanent(FaultKind::ActuationIgnored, 0, 0));
+        let mut gov = OndemandGovernor::linux_default();
+        let outcome = run_experiment_faulted(
+            &mut gov,
+            &mut medium_app(100),
+            quiet_config(),
+            100,
+            &plan,
+            1,
+        );
+        // Only the (pre-fault) init decision can ever land: the
+        // platform's OPP is frozen for the whole run.
+        assert!(
+            outcome.platform.vf().transitions() <= 1,
+            "ignored actuation must freeze the OPP ({} transitions)",
+            outcome.platform.vf().transitions()
+        );
+    }
+
+    #[test]
+    fn latched_actuation_delays_requests_one_epoch() {
+        use qgov_sim::{Fault, FaultKind};
+        let plan = FaultPlan::none().with(Fault::window(FaultKind::ActuationLatched, 0, 0, 10));
+        let mut inj = FaultInjector::single(&plan, 1, 4);
+        inj.begin_epoch(0);
+        // The first request is buffered; nothing lands yet.
+        assert_eq!(
+            faulted_decision(&mut inj, 0, 0, 5, VfDecision::Cluster(7)),
+            VfDecision::NoChange
+        );
+        // The next request swaps with the buffer: epoch 0's lands now.
+        assert_eq!(
+            faulted_decision(&mut inj, 1, 0, 5, VfDecision::Cluster(9)),
+            VfDecision::Cluster(7)
+        );
+        // After the window a silent epoch flushes the leftover buffer…
+        assert_eq!(
+            faulted_decision(&mut inj, 10, 0, 5, VfDecision::NoChange),
+            VfDecision::Cluster(9)
+        );
+        // …and then service is honest again.
+        assert_eq!(
+            faulted_decision(&mut inj, 11, 0, 5, VfDecision::NoChange),
+            VfDecision::NoChange
+        );
     }
 }

@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod faultstorm;
 pub mod fleet;
 pub mod harness;
 pub mod hetero;
@@ -80,10 +81,18 @@ pub mod runner;
 pub mod sweep;
 pub mod worklist;
 
+pub use faultstorm::{
+    fault_plan_from_env, fault_storm_app, fault_storm_drop_epoch, run_fault_storm,
+    run_fault_storm_with, standard_fault_schedule, FaultStormResult, FaultStormRow,
+    FAULTSTORM_GRACE,
+};
 pub use fleet::{
     fleet_size_from_env, run_fleet, FleetEngine, FleetInstance, FleetOutcome, FleetSpec,
 };
-pub use harness::{run_experiment, run_experiment_monitored, ExperimentOutcome};
+pub use harness::{
+    run_experiment, run_experiment_faulted, run_experiment_faulted_monitored,
+    run_experiment_monitored, ExperimentOutcome,
+};
 pub use hetero::{
     run_biglittle, run_biglittle_monitored, run_biglittle_monitored_with, run_biglittle_sweep,
     run_biglittle_sweep_with, run_biglittle_with, run_mesh_scaling, run_mesh_scaling_monitored,
@@ -91,7 +100,10 @@ pub use hetero::{
     run_mesh_scaling_with, BigLittleResult, BigLittleRow, BigLittleSweep, BigLittleSweepRow,
     MeshRow, MeshScalingResult, MeshSweep, MeshSweepRow,
 };
-pub use manycore::{run_manycore_experiment, run_manycore_experiment_monitored, ManyCoreOutcome};
+pub use manycore::{
+    run_manycore_experiment, run_manycore_experiment_faulted,
+    run_manycore_experiment_faulted_monitored, run_manycore_experiment_monitored, ManyCoreOutcome,
+};
 pub use perf::BenchRecord;
 pub use runner::{ExperimentBatch, RunnerConfig, RunnerMode};
 pub use sweep::{Aggregate, SeedSweep};

@@ -41,11 +41,14 @@
 
 use crate::harness::{
     apply_decision, debug_assert_no_run_state_bleed, debug_probe_reset_determinism,
-    to_work_slices_into,
+    faulted_decision, to_work_slices_into,
 };
 use qgov_governors::{GovernorContext, ManyCoreGovernor, ManyCoreObservation, VfDecision};
 use qgov_metrics::{MonitorSample, PropertySet, RunReport};
-use qgov_sim::{ManyCoreFrameResult, ManyCorePlatform, Topology, WorkSlice};
+use qgov_sim::{
+    FaultInjector, FaultPlan, ManyCoreFrameResult, ManyCorePlatform, Topology, WorkSlice,
+};
+use qgov_units::Cycles;
 use qgov_workloads::{split_demand_into, Application, FrameDemand};
 
 /// Everything a finished many-core run yields: the chip-level report,
@@ -132,6 +135,245 @@ pub fn run_manycore_experiment_monitored(
     );
     outcome.report.set_monitor_report(monitors.report());
     outcome
+}
+
+/// [`run_manycore_experiment`] under a deterministic fault schedule —
+/// the chip-level sibling of
+/// [`run_experiment_faulted`](crate::harness::run_experiment_faulted).
+///
+/// Per epoch, for every cluster, the loop:
+/// 1. moves any dead core's work slice onto that cluster's survivors
+///    ([`FaultInjector::redistribute_dead`]); a fully dead cluster's
+///    slices all go idle — its assigned share simply does not execute
+///    until the coordinator drains it away;
+/// 2. executes the chip frame and records **truth** in the chip and
+///    per-cluster reports;
+/// 3. hands the coordinator a *sensed copy* of the per-cluster frame
+///    results, perturbed by [`FaultInjector::perturb_sensing`];
+/// 4. rewrites each cluster's decision through its actuation fault
+///    before applying it.
+///
+/// The first epoch on which a cluster's cores are all dead
+/// ([`FaultInjector::cluster_dead`]) is reported once to the
+/// coordinator via [`ManyCoreGovernor::notify_cluster_dead`] — the
+/// hardened RTM freezes that agent and drains its share; a naive
+/// coordinator ignores the call and keeps feeding the corpse.
+///
+/// With an empty `plan` every injector step is a no-op and the run is
+/// bit-identical to [`run_manycore_experiment`]
+/// (`tests/fault_injection.rs` pins this).
+///
+/// # Panics
+///
+/// Panics as [`run_manycore_experiment`] does, and if `plan` names a
+/// cluster or core outside the topology.
+pub fn run_manycore_experiment_faulted(
+    coordinator: &mut dyn ManyCoreGovernor,
+    app: &mut dyn Application,
+    topology: Topology,
+    frames: u64,
+    initial_shares: &[f64],
+    plan: &FaultPlan,
+    fault_seed: u64,
+) -> ManyCoreOutcome {
+    run_manycore_experiment_faulted_inner(
+        coordinator,
+        app,
+        topology,
+        frames,
+        initial_shares,
+        plan,
+        fault_seed,
+        None,
+    )
+}
+
+/// [`run_manycore_experiment_faulted`] with a streaming
+/// temporal-property monitor riding along on the chip-level epoch
+/// stream. The monitors observe **ground truth**, never the sensed
+/// copy — a thermal-cap property checks the real die even while the
+/// coordinator is fed a stuck sensor.
+#[allow(clippy::too_many_arguments)]
+pub fn run_manycore_experiment_faulted_monitored(
+    coordinator: &mut dyn ManyCoreGovernor,
+    app: &mut dyn Application,
+    topology: Topology,
+    frames: u64,
+    initial_shares: &[f64],
+    plan: &FaultPlan,
+    fault_seed: u64,
+    monitors: &mut PropertySet<MonitorSample>,
+) -> ManyCoreOutcome {
+    let mut outcome = run_manycore_experiment_faulted_inner(
+        coordinator,
+        app,
+        topology,
+        frames,
+        initial_shares,
+        plan,
+        fault_seed,
+        Some(monitors),
+    );
+    outcome.report.set_monitor_report(monitors.report());
+    outcome
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_manycore_experiment_faulted_inner(
+    coordinator: &mut dyn ManyCoreGovernor,
+    app: &mut dyn Application,
+    topology: Topology,
+    frames: u64,
+    initial_shares: &[f64],
+    plan: &FaultPlan,
+    fault_seed: u64,
+    mut monitors: Option<&mut PropertySet<MonitorSample>>,
+) -> ManyCoreOutcome {
+    let mut chip = ManyCorePlatform::new(topology).expect("valid topology");
+    let n = chip.cluster_count();
+    assert_eq!(initial_shares.len(), n, "one initial share per cluster");
+    let period = app.period();
+
+    let cores: Vec<usize> = (0..n).map(|c| chip.cores(c)).collect();
+    let ctxs: Vec<GovernorContext> = (0..n)
+        .map(|c| GovernorContext::new(chip.opp_table(c).clone(), cores[c], period))
+        .collect();
+    let mut injector = FaultInjector::new(plan, fault_seed, &cores);
+    let mut notified = vec![false; n];
+
+    app.reset();
+    let pristine_first = debug_probe_reset_determinism(app);
+    let mut decisions: Vec<VfDecision> = Vec::with_capacity(n);
+    coordinator.init(&ctxs, &mut decisions);
+    assert_eq!(decisions.len(), n, "one initial decision per cluster");
+    for (c, decision) in decisions.iter().enumerate() {
+        apply_decision(chip.cluster_mut(c), decision).expect("initial decision in range");
+    }
+
+    let total = frames.min(app.frames());
+    let mut report = RunReport::new(coordinator.name(), app.name(), period);
+    report.reserve_frames(usize::try_from(total).unwrap_or(usize::MAX));
+    let mut cluster_reports: Vec<RunReport> = (0..n)
+        .map(|c| {
+            let mut r = RunReport::new(coordinator.name(), chip.cluster_name(c), period);
+            r.reserve_frames(usize::try_from(total).unwrap_or(usize::MAX));
+            r
+        })
+        .collect();
+
+    // Same allocation-free steady state as the fault-free inner loop,
+    // plus one extra reused slot: the sensed copy the injector
+    // perturbs before the coordinator sees it.
+    let mut shares = initial_shares.to_vec();
+    let mut demand = FrameDemand::default();
+    let mut cluster_demands = vec![FrameDemand::default(); n];
+    let mut work: Vec<Vec<WorkSlice>> = cores.iter().map(|&k| vec![WorkSlice::IDLE; k]).collect();
+    let mut frame = ManyCoreFrameResult::empty();
+    let mut sensed = ManyCoreFrameResult::empty();
+    let mut lost = vec![Cycles::ZERO; n];
+
+    for epoch in 0..total {
+        injector.begin_epoch(epoch);
+        for (c, seen) in notified.iter_mut().enumerate() {
+            if !*seen && injector.cluster_dead(c) {
+                *seen = true;
+                coordinator.notify_cluster_dead(c);
+            }
+        }
+        app.next_frame_into(&mut demand);
+        split_demand_into(&demand, &shares, &cores, &mut cluster_demands);
+        for (c, (slices, slice_demand)) in work.iter_mut().zip(&cluster_demands).enumerate() {
+            to_work_slices_into(slice_demand, slices);
+            // Work routed to a fully dead cluster never executes: that
+            // frame is incomplete, i.e. a missed deadline, however fast
+            // the (idle) dead cluster crosses the barrier. Only the
+            // coordinator can stop the bleeding, by draining the dead
+            // cluster's share.
+            lost[c] = injector.redistribute_dead(c, slices);
+        }
+        chip.run_frame_into(&work, period, &mut frame)
+            .expect("work buffers sized to the topology");
+        let chip_met = frame.met_deadline() && lost.iter().all(|l| l.is_zero());
+        report.record_frame(
+            frame.frame_time,
+            frame.wall_time,
+            frame.energy,
+            frame.clusters[0].cluster_opp,
+            chip_met,
+        );
+        for (c, cluster_report) in cluster_reports.iter_mut().enumerate() {
+            let f = &frame.clusters[c];
+            cluster_report.record_frame(
+                f.frame_time,
+                f.wall_time,
+                f.energy,
+                f.cluster_opp,
+                f.met_deadline() && lost[c].is_zero(),
+            );
+        }
+        sensed.copy_from(&frame);
+        for (c, cluster_frame) in sensed.clusters.iter_mut().enumerate() {
+            injector.perturb_sensing(epoch, c, cluster_frame);
+        }
+        coordinator.decide_into(
+            &ManyCoreObservation {
+                frames: &sensed.clusters,
+                epoch,
+            },
+            &mut decisions,
+            &mut shares,
+        );
+        assert_eq!(decisions.len(), n, "one decision per cluster");
+        if let Some(monitors) = monitors.as_deref_mut() {
+            // Truth, not the sensed copy: the thermal cap must hold on
+            // the die even while a sensor lies to the coordinator.
+            let peak = frame
+                .clusters
+                .iter()
+                .map(|f| f.temperature)
+                .fold(frame.clusters[0].temperature, qgov_units::Temp::max);
+            monitors.observe(&MonitorSample {
+                epoch,
+                frame_time_ratio: frame.frame_time.ratio(period),
+                met_deadline: chip_met,
+                opp: frame.clusters[0].cluster_opp,
+                temperature_c: peak.as_celsius(),
+                energy_j: frame.energy.as_joules(),
+                epsilon: coordinator.exploration_epsilon().unwrap_or(f64::NAN),
+                converged: coordinator.has_converged().unwrap_or(false),
+            });
+        }
+        for (c, decision) in decisions.iter_mut().enumerate() {
+            let requested = std::mem::replace(decision, VfDecision::NoChange);
+            let actual = faulted_decision(&mut injector, epoch, c, chip.current_opp(c), requested);
+            apply_decision(chip.cluster_mut(c), &actual).expect("decision in range");
+            chip.add_overhead(c, coordinator.processing_overhead(c));
+            *decision = actual;
+        }
+    }
+
+    report.set_run_totals(
+        chip.total_energy(),
+        chip.total_transitions(),
+        chip.total_transition_latency(),
+        chip.peak_temperature(),
+    );
+    for (c, cluster_report) in cluster_reports.iter_mut().enumerate() {
+        let cluster = chip.cluster(c);
+        cluster_report.set_run_totals(
+            cluster.total_energy(),
+            cluster.vf().transitions(),
+            cluster.vf().total_latency(),
+            cluster.peak_temperature(),
+        );
+    }
+    debug_assert_no_run_state_bleed(app, pristine_first.as_ref(), total);
+    ManyCoreOutcome {
+        report,
+        cluster_reports,
+        platform: chip,
+        shares,
+    }
 }
 
 fn run_manycore_experiment_inner(

@@ -41,7 +41,9 @@ use crate::experiments::{
     run_table1_with, run_table2_with, run_table3_with, AblationResult, FIG3_LABELS, GAMMA_LABELS,
     LEVELS_LABELS, LONG_HORIZON_LABELS, SHARED_LABELS, TABLE1_LABELS, TABLE2_LABELS, TABLE3_LABELS,
 };
+use crate::faultstorm::{run_fault_storm_with, standard_fault_schedule, FAULTSTORM_LABELS};
 use crate::fleet::{run_fleet, FleetSpec};
+use crate::hetero::{run_biglittle_with, run_mesh_scaling_with, BIGLITTLE_LABELS, MESH_LABELS};
 use crate::runner::RunnerConfig;
 use qgov_core::RtmConfig;
 use qgov_metrics::PackConfig;
@@ -70,6 +72,13 @@ pub enum Family {
     SharedTable,
     /// Long-horizon streamed comparison (optionally monitored).
     LongHorizon,
+    /// big.LITTLE placement comparison (static vs learned migration).
+    BigLittle,
+    /// Homogeneous-mesh weak scaling (4/8/16 clusters).
+    MeshScaling,
+    /// Fault storm: hardened vs naive RTM vs ondemand under the
+    /// standard deterministic fault schedule.
+    FaultStorm,
     /// Fleet engine: N lockstep RTM instances per cell.
     Fleet,
 }
@@ -85,6 +94,9 @@ impl Family {
         Family::Smoothing,
         Family::SharedTable,
         Family::LongHorizon,
+        Family::BigLittle,
+        Family::MeshScaling,
+        Family::FaultStorm,
         Family::Fleet,
     ];
 
@@ -101,6 +113,9 @@ impl Family {
             Family::Smoothing => "smoothing",
             Family::SharedTable => "shared_table",
             Family::LongHorizon => "long_horizon",
+            Family::BigLittle => "biglittle",
+            Family::MeshScaling => "mesh_scaling",
+            Family::FaultStorm => "fault_storm",
             Family::Fleet => "fleet",
         }
     }
@@ -383,6 +398,67 @@ impl WorkList {
                     }
                 }
             }
+            Family::BigLittle => {
+                let result = run_biglittle_with(seed, frames, &serial);
+                for (label, row) in BIGLITTLE_LABELS.iter().zip(&result.rows) {
+                    let key = slug(label);
+                    push(format!("normalized_energy/{key}"), row.normalized_energy);
+                    push(format!("miss_rate/{key}"), row.miss_rate);
+                    push(format!("energy_joules/{key}"), row.energy_joules);
+                    push(
+                        format!("energy_per_met_frame/{key}"),
+                        row.energy_per_met_frame,
+                    );
+                    push(format!("migrations/{key}"), row.migrations as f64);
+                    push(format!("final_big_share/{key}"), row.final_big_share);
+                }
+            }
+            Family::MeshScaling => {
+                let result = run_mesh_scaling_with(seed, frames, &serial);
+                for (label, row) in MESH_LABELS.iter().zip(&result.rows) {
+                    let key = slug(label);
+                    push(format!("energy_joules/{key}"), row.energy_joules);
+                    push(format!("energy_per_cluster/{key}"), row.energy_per_cluster);
+                    push(format!("miss_rate/{key}"), row.miss_rate);
+                    push(format!("migrations/{key}"), row.migrations as f64);
+                }
+            }
+            Family::FaultStorm => {
+                // Always the standard schedule, never the env override:
+                // journal cells must re-derive bit-identically.
+                let plan = standard_fault_schedule(frames);
+                let result = run_fault_storm_with(seed, frames, &plan, &serial);
+                for (label, row) in FAULTSTORM_LABELS.iter().zip(&result.rows) {
+                    let key = slug(label);
+                    push(format!("energy_joules/{key}"), row.energy_joules);
+                    push(format!("miss_rate/{key}"), row.miss_rate);
+                    push(
+                        format!("post_drop_miss_rate/{key}"),
+                        row.post_drop_miss_rate,
+                    );
+                    push(
+                        format!("degraded_epochs/{key}"),
+                        row.recovery.degraded_epochs as f64,
+                    );
+                    push(
+                        format!("safe_state_epochs/{key}"),
+                        row.safe_state_epochs as f64,
+                    );
+                    push(
+                        format!("worst_excursion/{key}"),
+                        row.recovery.worst_excursion,
+                    );
+                    if let Some(epochs) = row.recovery.time_to_recover {
+                        push(format!("time_to_recover/{key}"), epochs as f64);
+                    }
+                    if let Some(monitor) = &row.monitor {
+                        push(
+                            format!("monitor_violations/{key}"),
+                            monitor.violation_count() as f64,
+                        );
+                    }
+                }
+            }
             Family::Fleet => {
                 let instance_seeds: Vec<u64> = (0..self.fleet as u64)
                     .map(|i| seed.wrapping_add(i))
@@ -554,6 +630,21 @@ mod tests {
         for ((_, x), (_, y)) in a.iter().zip(&b) {
             assert_eq!(x.to_bits(), y.to_bits(), "cell rerun must be bit-identical");
         }
+    }
+
+    #[test]
+    fn fault_storm_cell_reports_recovery_metrics() {
+        let list = WorkList::new(Family::FaultStorm, vec![11], 120);
+        let metrics = list.run_cell(&list.cells()[0]);
+        assert!(metrics
+            .iter()
+            .any(|(n, _)| n == "energy_joules/rtm_hardened"));
+        assert!(metrics
+            .iter()
+            .any(|(n, _)| n == "post_drop_miss_rate/rtm_naive"));
+        assert!(metrics
+            .iter()
+            .any(|(n, _)| n == "monitor_violations/ondemand"));
     }
 
     #[test]

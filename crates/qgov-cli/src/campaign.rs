@@ -356,6 +356,135 @@ pub fn bench_records(
         .collect())
 }
 
+/// Outcome of diffing one campaign's journaled metrics against another
+/// state dir's ([`diff_against`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOutcome {
+    /// Human-readable per-cell diff; byte-stable for identical inputs.
+    pub text: String,
+    /// `(cell, metric)` pairs that deviated beyond the tolerance —
+    /// including metrics present on only one side of a shared cell.
+    pub regressions: usize,
+}
+
+/// Symmetric relative deviation between two journaled metric values:
+/// `|new − old| / max(|old|, |new|)`, i.e. 0 for bit-identical values
+/// and at most 1 for same-sign values. A NaN on either side (that is
+/// not bit-identical to the other) is never comparable and reports
+/// `∞`, so it always exceeds any finite tolerance.
+fn relative_delta(old: f64, new: f64) -> f64 {
+    if old.to_bits() == new.to_bits() {
+        return 0.0;
+    }
+    if old.is_nan() || new.is_nan() {
+        return f64::INFINITY;
+    }
+    let base = old.abs().max(new.abs());
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - old).abs() / base
+    }
+}
+
+/// Diffs this campaign's journaled cells against another state dir
+/// (`qgov report --against`). Cells are matched by their stable IDs, so
+/// the baseline may come from an older campaign with a different seed
+/// set or family — only the shared cells are compared. Within a shared
+/// cell, every metric whose symmetric relative deviation
+/// (`|new − old| / max(|old|, |new|)`) exceeds `tolerance` (and every
+/// metric present on only one side) counts as a regression and is
+/// listed with both values.
+///
+/// The text is a pure function of the two journals, rendered in
+/// work-list order — byte-stable like the report itself.
+///
+/// # Errors
+///
+/// Propagates config/journal rejections from either state dir.
+pub fn diff_against(
+    dir: &Path,
+    config: &CampaignConfig,
+    against: &Path,
+    tolerance: f64,
+) -> Result<DiffOutcome, CampaignError> {
+    let against_config = load(against)?;
+    let ours = progress(dir, config)?;
+    let theirs = progress(against, &against_config)?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "diff against {} (tolerance {tolerance})\n",
+        against.display()
+    ));
+    let mut regressions = 0usize;
+    let mut shared = 0usize;
+    let mut compared = 0usize;
+    let mut only_here = 0usize;
+    for cell in config.worklist().cells() {
+        let Some(a) = ours.cells.get(&cell.id) else {
+            continue; // not journaled here yet — nothing to compare
+        };
+        let Some(b) = theirs.cells.get(&cell.id) else {
+            only_here += 1;
+            continue;
+        };
+        shared += 1;
+        let baseline: HashMap<&str, f64> =
+            b.metrics.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let mut lines: Vec<String> = Vec::new();
+        for (name, value) in &a.metrics {
+            match baseline.get(name.as_str()) {
+                None => {
+                    regressions += 1;
+                    lines.push(format!("  {name}: {value} (missing in baseline)"));
+                }
+                Some(&old) => {
+                    compared += 1;
+                    let delta = relative_delta(old, *value);
+                    if delta > tolerance {
+                        regressions += 1;
+                        if delta.is_finite() {
+                            lines.push(format!(
+                                "  {name}: {old} -> {value} ({:+.3}%)",
+                                (*value - old) / old.abs().max(value.abs()) * 100.0
+                            ));
+                        } else {
+                            lines.push(format!("  {name}: {old} -> {value} (not comparable)"));
+                        }
+                    }
+                }
+            }
+        }
+        for (name, value) in &b.metrics {
+            if !a.metrics.iter().any(|(n, _)| n == name) {
+                regressions += 1;
+                lines.push(format!("  {name}: {value} (present only in baseline)"));
+            }
+        }
+        if !lines.is_empty() {
+            out.push_str(&format!("cell {}\n", cell.id));
+            for line in lines {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    let only_there = theirs.cells.len().saturating_sub(shared);
+    out.push_str(&format!(
+        "{shared} shared cell(s), {compared} compared metric(s), {regressions} beyond tolerance\n"
+    ));
+    if only_here > 0 || only_there > 0 {
+        out.push_str(&format!(
+            "{only_here} cell(s) only in this campaign, {only_there} only in the baseline\n"
+        ));
+    }
+    Ok(DiffOutcome {
+        text: out,
+        regressions,
+    })
+}
+
 /// Per-metric summaries in deterministic order, plus
 /// (completed, total) cell counts.
 type FoldedSummaries = (Vec<(String, MetricSummary)>, usize, usize);

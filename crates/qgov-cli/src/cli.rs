@@ -7,6 +7,7 @@
 //! | [`EXIT_USAGE`] (2) | unknown subcommand / flag / missing argument |
 //! | [`EXIT_CONFIG`] (3) | campaign config rejected (bad TOML, bad values) |
 //! | [`EXIT_STATE`] (4) | state dir / journal / snapshot / runtime I-O rejected |
+//! | [`EXIT_REGRESSION`] (5) | `report --against` found metrics beyond the tolerance |
 //!
 //! Campaign reports go to **stdout** and are byte-stable (the
 //! kill/resume oracle diffs them); progress and warnings go to stderr.
@@ -31,6 +32,9 @@ pub const EXIT_USAGE: i32 = 2;
 pub const EXIT_CONFIG: i32 = 3;
 /// State error: state dir, journal, snapshot or runtime I/O rejected.
 pub const EXIT_STATE: i32 = 4;
+/// Regression: `report --against` found journaled metrics deviating
+/// beyond `--tolerance` from the baseline campaign.
+pub const EXIT_REGRESSION: i32 = 5;
 
 const USAGE: &str = "\
 qgov — operator CLI for journaled, kill-and-resume experiment campaigns
@@ -38,7 +42,7 @@ qgov — operator CLI for journaled, kill-and-resume experiment campaigns
 USAGE:
     qgov sweep --state <dir> [--dry-run] [--workers <n>] <config.toml>
     qgov resume [--workers <n>] <state-dir>
-    qgov report [--bench-json <path>] <state-dir>
+    qgov report [--bench-json <path>] [--against <state-dir> [--tolerance <fraction>]] <state-dir>
     qgov run --family <family> --seed <n> --frames <n> [--fleet <n>] [--monitors <pack>]
     qgov record --out <dir> --frames <n> [--seed <n>] [--shard-frames <n>]
     qgov replay --trace <dir> --governor <ondemand|conservative|rtm> [--frames <n>] [--seed <n>]
@@ -47,8 +51,11 @@ USAGE:
 Campaigns: `sweep` initialises a state dir (campaign.toml + journal)
 and runs every cell; kill it at any point and `resume` continues from
 the last durable cell, with `report` output byte-identical to a run
-that was never killed. Families: table1, table2, table3, fig3,
-state_levels, smoothing, shared_table, long_horizon, fleet.";
+that was never killed; `report --against` diffs the journaled metrics
+of two campaigns cell by cell and exits 5 when any shared metric
+deviates beyond --tolerance (default 0: bit-identity). Families:
+table1, table2, table3, fig3, state_levels, smoothing, shared_table,
+long_horizon, fleet, biglittle, mesh_scaling, fault_storm.";
 
 /// Runs the CLI on `args` (without the executable name) and returns
 /// the process exit code.
@@ -238,13 +245,22 @@ fn run_cells(dir: &Path, config: &CampaignConfig, runner: &RunnerConfig) -> i32 
 }
 
 fn cmd_report(args: Vec<&str>) -> i32 {
-    let flags = match Flags::parse(&args, &["--bench-json"], &[]) {
+    let flags = match Flags::parse(&args, &["--bench-json", "--against", "--tolerance"], &[]) {
         Ok(flags) => flags,
         Err(message) => return usage_error(&message),
     };
     let [dir] = flags.positional[..] else {
         return usage_error("report needs exactly one <state-dir> argument");
     };
+    let tolerance = match flags.parsed_option::<f64>("--tolerance") {
+        Ok(None) => 0.0,
+        Ok(Some(t)) if t.is_finite() && t >= 0.0 => t,
+        Ok(Some(_)) => return usage_error("--tolerance must be a finite fraction >= 0"),
+        Err(message) => return usage_error(&message),
+    };
+    if flags.option("--tolerance").is_some() && flags.option("--against").is_none() {
+        return usage_error("--tolerance needs --against <state-dir>");
+    }
     let dir = Path::new(dir);
     let config = match campaign::load(dir) {
         Ok(config) => config,
@@ -265,6 +281,20 @@ fn cmd_report(args: Vec<&str>) -> i32 {
             return EXIT_STATE;
         }
         eprintln!("appended {} bench record(s) to {path}", records.len());
+    }
+    if let Some(against) = flags.option("--against") {
+        let diff = match campaign::diff_against(dir, &config, Path::new(against), tolerance) {
+            Ok(diff) => diff,
+            Err(e) => return campaign_exit(&e),
+        };
+        print!("{}", diff.text);
+        if diff.regressions > 0 {
+            eprintln!(
+                "error: {} metric(s) beyond tolerance {tolerance}",
+                diff.regressions
+            );
+            return EXIT_REGRESSION;
+        }
     }
     EXIT_OK
 }

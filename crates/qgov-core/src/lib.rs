@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod degrade;
 mod manycore;
 mod migration;
 mod overhead;
@@ -45,6 +46,7 @@ mod rtm;
 mod state;
 
 pub use config::{ExplorationKind, HistoryMode, RtmConfig, StateKind};
+pub use degrade::{HardeningConfig, PlausibilityFilter};
 pub use manycore::ManyCoreRtm;
 pub use migration::{GreedyMigration, MigrationConfig};
 pub use overhead::OverheadModel;

@@ -22,6 +22,11 @@ use qgov_units::SimTime;
 pub struct ManyCoreRtm {
     agents: Vec<RtmGovernor>,
     migration: GreedyMigration,
+    /// Clusters reported dead via
+    /// [`ManyCoreGovernor::notify_cluster_dead`]: their agents are
+    /// frozen (no learning from garbage), their work share is drained
+    /// to the survivors, and migration never routes work back to them.
+    dead: Vec<bool>,
 }
 
 impl ManyCoreRtm {
@@ -40,9 +45,11 @@ impl ManyCoreRtm {
             .into_iter()
             .map(RtmGovernor::new)
             .collect::<Result<Vec<_>, _>>()?;
+        let clusters = agents.len();
         Ok(ManyCoreRtm {
             agents,
             migration: GreedyMigration::new(migration),
+            dead: vec![false; clusters],
         })
     }
 
@@ -66,6 +73,34 @@ impl ManyCoreRtm {
             })
             .collect();
         Self::new(configs, MigrationConfig::greedy())
+    }
+
+    /// Puts every per-cluster agent behind a
+    /// [`PlausibilityFilter`](crate::PlausibilityFilter) with the given
+    /// hardening — the chip-level form of
+    /// [`RtmGovernor::with_hardening`].
+    #[must_use]
+    pub fn with_agent_hardening(mut self, hardening: crate::HardeningConfig) -> Self {
+        self.agents = self
+            .agents
+            .into_iter()
+            .map(|a| a.with_hardening(hardening))
+            .collect();
+        self
+    }
+
+    /// Total epochs any agent ran on substituted (quarantined) sensor
+    /// data, summed over clusters. Zero without hardening.
+    #[must_use]
+    pub fn degraded_epochs(&self) -> u64 {
+        self.agents.iter().map(RtmGovernor::degraded_epochs).sum()
+    }
+
+    /// Total epochs any agent spent in safe-state fallback, summed over
+    /// clusters. Zero without hardening.
+    #[must_use]
+    pub fn safe_state_epochs(&self) -> u64 {
+        self.agents.iter().map(RtmGovernor::safe_state_epochs).sum()
     }
 
     /// The agent governing one cluster.
@@ -100,6 +135,22 @@ impl ManyCoreRtm {
     pub fn migrations(&self) -> u64 {
         self.migration.migrations()
     }
+
+    /// `true` if `cluster` has been reported dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    #[must_use]
+    pub fn cluster_dead(&self, cluster: usize) -> bool {
+        self.dead[cluster]
+    }
+
+    /// Number of clusters currently reported dead.
+    #[must_use]
+    pub fn dead_clusters(&self) -> usize {
+        self.dead.iter().filter(|d| **d).count()
+    }
 }
 
 impl ManyCoreGovernor for ManyCoreRtm {
@@ -110,6 +161,7 @@ impl ManyCoreGovernor for ManyCoreRtm {
     fn init(&mut self, ctxs: &[GovernorContext], decisions: &mut Vec<VfDecision>) {
         assert_eq!(ctxs.len(), self.agents.len(), "one context per cluster");
         decisions.clear();
+        self.dead.fill(false);
         for (agent, ctx) in self.agents.iter_mut().zip(ctxs) {
             decisions.push(agent.init(ctx));
         }
@@ -121,14 +173,26 @@ impl ManyCoreGovernor for ManyCoreRtm {
         decisions: &mut Vec<VfDecision>,
         shares: &mut [f64],
     ) {
+        // A freshly-reported dead cluster sheds its work share first,
+        // so the survivors' agents see the extra demand this epoch.
+        self.migration.drain_dead(shares, &self.dead);
         decisions.clear();
         for (cluster, agent) in self.agents.iter_mut().enumerate() {
+            if self.dead[cluster] {
+                // Frozen agent: no learning from a dead cluster's
+                // garbage, and the (unpowered) cluster parks at its
+                // lowest OPP. Re-parking each epoch is free — a
+                // same-index retarget has zero transition cost.
+                decisions.push(VfDecision::Cluster(0));
+                continue;
+            }
             decisions.push(agent.decide(&EpochObservation {
                 frame: &obs.frames[cluster],
                 epoch: obs.epoch,
             }));
         }
-        self.migration.rebalance(obs.frames, shares);
+        self.migration
+            .rebalance_masked(obs.frames, shares, &self.dead);
     }
 
     fn processing_overhead(&self, cluster: usize) -> SimTime {
@@ -144,9 +208,23 @@ impl ManyCoreGovernor for ManyCoreRtm {
             .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
     }
 
-    /// Converged once every per-cluster agent has converged.
+    /// Converged once every live per-cluster agent has converged (a
+    /// dead cluster's frozen agent can never converge and no longer
+    /// matters).
     fn has_converged(&self) -> Option<bool> {
-        Some(self.agents.iter().all(|a| a.converged_at().is_some()))
+        Some(
+            self.agents
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| !self.dead[*c])
+                .all(|(_, a)| a.converged_at().is_some()),
+        )
+    }
+
+    fn notify_cluster_dead(&mut self, cluster: usize) {
+        if cluster < self.dead.len() {
+            self.dead[cluster] = true;
+        }
     }
 }
 
@@ -181,5 +259,48 @@ mod tests {
         }
         // Decorrelated exploration seeds per cluster.
         assert!(rtm.agent(0).processing_overhead() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn dead_cluster_is_frozen_drained_and_parked() {
+        use qgov_sim::FrameResult;
+
+        let mut rtm = ManyCoreRtm::paper(3, 2, (1e7, 1e9)).unwrap();
+        let ctxs = vec![
+            GovernorContext::new(OppTable::odroid_xu3_a15(), 4, SimTime::from_ms(40)),
+            GovernorContext::new(OppTable::odroid_xu3_a15(), 4, SimTime::from_ms(40)),
+        ];
+        let mut decisions = Vec::new();
+        rtm.init(&ctxs, &mut decisions);
+        assert_eq!(rtm.dead_clusters(), 0);
+
+        rtm.notify_cluster_dead(0);
+        assert!(rtm.cluster_dead(0));
+        assert_eq!(rtm.dead_clusters(), 1);
+
+        let mut live_frame = FrameResult::empty();
+        live_frame.period = SimTime::from_ms(40);
+        live_frame.frame_time = SimTime::from_ms(30);
+        live_frame.wall_time = SimTime::from_ms(40);
+        live_frame.per_core_cycles = vec![qgov_units::Cycles::from_mcycles(30); 4];
+        let frames = vec![live_frame.clone(), live_frame];
+        let mut shares = vec![0.6, 0.4];
+        rtm.decide_into(
+            &ManyCoreObservation {
+                frames: &frames,
+                epoch: 0,
+            },
+            &mut decisions,
+            &mut shares,
+        );
+        // The dead cluster parks at the lowest OPP and its share has
+        // drained to the survivor.
+        assert_eq!(decisions[0], VfDecision::Cluster(0));
+        assert_eq!(shares[0], 0.0);
+        assert!((shares[1] - 1.0).abs() < 1e-12);
+
+        // Re-init revives everything.
+        rtm.init(&ctxs, &mut decisions);
+        assert_eq!(rtm.dead_clusters(), 0);
     }
 }

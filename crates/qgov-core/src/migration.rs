@@ -97,26 +97,83 @@ impl GreedyMigration {
     /// indexed by cluster; shares stay non-negative and their sum is
     /// preserved.
     pub fn rebalance(&mut self, frames: &[FrameResult], shares: &mut [f64]) -> bool {
+        self.rebalance_masked(frames, shares, &[])
+    }
+
+    /// [`rebalance`](GreedyMigration::rebalance) with a dead-cluster
+    /// mask: clusters flagged in `dead` are excluded as both donors and
+    /// receivers (their frames report garbage or nothing at all, and
+    /// work must never migrate onto them). `dead` may be shorter than
+    /// the cluster count — missing entries mean alive — so the unmasked
+    /// path passes `&[]` and behaves exactly as before.
+    pub fn rebalance_masked(
+        &mut self,
+        frames: &[FrameResult],
+        shares: &mut [f64],
+        dead: &[bool],
+    ) -> bool {
         let n = frames.len().min(shares.len());
         if n < 2 {
             return false;
         }
 
-        if let Some((donor, receiver)) = self.rescue_pair(&frames[..n], &shares[..n]) {
+        if let Some((donor, receiver)) = self.rescue_pair(&frames[..n], &shares[..n], dead) {
             return self.transfer(shares, donor, receiver);
         }
-        if let Some((donor, receiver)) = self.consolidation_pair(&frames[..n], &shares[..n]) {
+        if let Some((donor, receiver)) = self.consolidation_pair(&frames[..n], &shares[..n], dead) {
             return self.transfer(shares, donor, receiver);
         }
         false
     }
 
+    /// Drains the work share of every dead cluster onto the survivors
+    /// (proportionally to their current shares, or evenly if the
+    /// survivors hold nothing). Returns `true` if any share moved; a
+    /// drain counts as one migration. No-op when nothing is dead or
+    /// nothing is alive to receive.
+    pub fn drain_dead(&mut self, shares: &mut [f64], dead: &[bool]) -> bool {
+        let is_dead = |c: usize| dead.get(c).copied().unwrap_or(false);
+        let orphaned: f64 = shares
+            .iter()
+            .enumerate()
+            .filter(|&(c, share)| is_dead(c) && *share > 0.0)
+            .map(|(_, share)| *share)
+            .sum();
+        let alive = shares.len() - (0..shares.len()).filter(|&c| is_dead(c)).count();
+        if orphaned <= 0.0 || alive == 0 {
+            return false;
+        }
+        let alive_total: f64 = shares
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| !is_dead(c))
+            .map(|(_, share)| *share)
+            .sum();
+        for (c, share) in shares.iter_mut().enumerate() {
+            if is_dead(c) {
+                *share = 0.0;
+            } else if alive_total > 0.0 {
+                *share += orphaned * (*share / alive_total);
+            } else {
+                *share += orphaned / alive as f64;
+            }
+        }
+        self.migrations += 1;
+        true
+    }
+
     /// Deadline rescue: worst-slack active cluster below the floor
     /// donates to the best-slack thermally-safe cluster above it.
-    fn rescue_pair(&self, frames: &[FrameResult], shares: &[f64]) -> Option<(usize, usize)> {
+    fn rescue_pair(
+        &self,
+        frames: &[FrameResult],
+        shares: &[f64],
+        dead: &[bool],
+    ) -> Option<(usize, usize)> {
+        let is_dead = |c: usize| dead.get(c).copied().unwrap_or(false);
         let mut donor: Option<usize> = None;
         for (c, frame) in frames.iter().enumerate() {
-            if shares[c] <= 0.0 || frame.frame_slack() >= self.config.slack_floor {
+            if is_dead(c) || shares[c] <= 0.0 || frame.frame_slack() >= self.config.slack_floor {
                 continue;
             }
             if donor.is_none_or(|d| frame.frame_slack() < frames[d].frame_slack()) {
@@ -128,6 +185,7 @@ impl GreedyMigration {
         let mut receiver: Option<usize> = None;
         for (c, frame) in frames.iter().enumerate() {
             if c == donor
+                || is_dead(c)
                 || frame.frame_slack() <= self.config.slack_floor
                 || frame.temperature >= self.config.temp_cap
             {
@@ -143,9 +201,15 @@ impl GreedyMigration {
     /// Energy consolidation: while every active cluster has slack above
     /// the guard, the worst-J/cycle cluster donates to the best one
     /// with thermal margin and slack headroom.
-    fn consolidation_pair(&self, frames: &[FrameResult], shares: &[f64]) -> Option<(usize, usize)> {
+    fn consolidation_pair(
+        &self,
+        frames: &[FrameResult],
+        shares: &[f64],
+        dead: &[bool],
+    ) -> Option<(usize, usize)> {
+        let is_dead = |c: usize| dead.get(c).copied().unwrap_or(false);
         for (c, frame) in frames.iter().enumerate() {
-            if shares[c] > 0.0 && frame.frame_slack() < self.config.guard_slack {
+            if !is_dead(c) && shares[c] > 0.0 && frame.frame_slack() < self.config.guard_slack {
                 return None;
             }
         }
@@ -153,6 +217,9 @@ impl GreedyMigration {
         let mut donor: Option<(usize, f64)> = None;
         let mut receiver: Option<(usize, f64)> = None;
         for (c, frame) in frames.iter().enumerate() {
+            if is_dead(c) {
+                continue;
+            }
             let cycles = frame.total_cycles().count() as f64;
             if cycles <= 0.0 {
                 continue;
@@ -267,6 +334,47 @@ mod tests {
         assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         // Fully drained: nothing left to donate.
         assert!(!policy.rebalance(&frames, &mut shares));
+    }
+
+    #[test]
+    fn dead_clusters_neither_donate_nor_receive() {
+        let mut policy = GreedyMigration::new(MigrationConfig::greedy());
+        // Cluster 1 is the obvious rescue receiver — unless it is dead.
+        let frames = [frame(-0.2, 1e-9, 60.0), frame(0.5, 1e-9, 60.0)];
+        let mut shares = [0.5, 0.5];
+        assert!(!policy.rebalance_masked(&frames, &mut shares, &[false, true]));
+        assert_eq!(shares, [0.5, 0.5]);
+
+        // A dead cluster's garbage frame cannot make it a donor either.
+        let frames = [frame(-0.9, 1e-9, 60.0), frame(0.5, 1e-9, 60.0)];
+        let mut shares = [0.5, 0.5];
+        assert!(!policy.rebalance_masked(&frames, &mut shares, &[true, false]));
+        assert_eq!(shares, [0.5, 0.5]);
+    }
+
+    #[test]
+    fn drain_dead_moves_share_to_survivors_proportionally() {
+        let mut policy = GreedyMigration::new(MigrationConfig::greedy());
+        let mut shares = [0.4, 0.3, 0.3];
+        assert!(policy.drain_dead(&mut shares, &[true, false, false]));
+        assert_eq!(shares[0], 0.0);
+        assert!((shares[1] - 0.5).abs() < 1e-12);
+        assert!((shares[2] - 0.5).abs() < 1e-12);
+        assert_eq!(policy.migrations(), 1);
+        // Already drained: no further moves.
+        assert!(!policy.drain_dead(&mut shares, &[true, false, false]));
+        assert_eq!(policy.migrations(), 1);
+
+        // Survivors with zero share split the orphaned work evenly.
+        let mut shares = [1.0, 0.0, 0.0];
+        assert!(policy.drain_dead(&mut shares, &[true, false, false]));
+        assert!((shares[1] - 0.5).abs() < 1e-12);
+        assert!((shares[2] - 0.5).abs() < 1e-12);
+
+        // Nothing alive: the share has nowhere to go.
+        let mut shares = [1.0];
+        assert!(!policy.drain_dead(&mut shares, &[true]));
+        assert_eq!(shares, [1.0]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The run-time manager.
 
+use crate::degrade::{HardeningConfig, PlausibilityFilter};
 use crate::{ExplorationKind, HistoryMode, RtmConfig, StateKind, StateMapper};
 use qgov_governors::{EpochObservation, Governor, GovernorContext, SlackTracker, VfDecision};
 use qgov_metrics::{MonitorReport, PropertySet};
@@ -7,7 +8,7 @@ use qgov_rl::{
     ActionSpace, AgentConfig, EpdPolicy, EwmaPredictor, ExplorationPolicy, Predictor,
     QLearningAgent, QTable, RewardFn, RlError, SoftmaxPolicy, UniformPolicy,
 };
-use qgov_sim::OppTable;
+use qgov_sim::{FrameResult, OppTable};
 use qgov_units::{Freq, SimTime};
 
 /// One decision epoch's telemetry, recorded by the RTM for analysis
@@ -445,6 +446,20 @@ pub struct RtmGovernor {
     /// A monitor attached before the first `init` (moved into the lane
     /// the moment it exists, and carried across re-inits thereafter).
     pending_monitor: Option<PropertySet<EpochRecord>>,
+    /// Set by [`with_hardening`](RtmGovernor::with_hardening): routes
+    /// every observation through a plausibility filter first.
+    hardening: Option<HardeningConfig>,
+    /// The live filter (rebuilt fresh on every `init`).
+    filter: Option<PlausibilityFilter>,
+    /// Reusable governor-side copy of the sensed frame, so filtering
+    /// never mutates the caller's observation and never allocates in
+    /// steady state.
+    sensed_scratch: FrameResult,
+    /// Top OPP index of the platform (set at `init`; clamps
+    /// [`HardeningConfig::safe_opp`]).
+    top_opp: usize,
+    /// Epochs spent parked in the quarantined safe state.
+    safe_state_epochs: u64,
 }
 
 impl RtmGovernor {
@@ -460,7 +475,66 @@ impl RtmGovernor {
             lane: None,
             agent: None,
             pending_monitor: None,
+            hardening: None,
+            filter: None,
+            sensed_scratch: FrameResult::empty(),
+            top_opp: 0,
+            safe_state_epochs: 0,
         })
+    }
+
+    /// Hardens the governor against faulty sensors: every observation
+    /// passes a [`PlausibilityFilter`] before it reaches the learning
+    /// loop (implausible readings are replaced by last-good values),
+    /// and after [`HardeningConfig::quarantine_threshold`] consecutive
+    /// rejections the governor parks the cluster at the configured
+    /// safe OPP — without learning from the garbage — until a
+    /// plausible reading arrives. See [`HardeningConfig`] and
+    /// [`PlausibilityFilter`].
+    #[must_use]
+    pub fn with_hardening(mut self, hardening: HardeningConfig) -> Self {
+        self.hardening = Some(hardening);
+        self
+    }
+
+    /// The hardening gates, if [`with_hardening`] configured any.
+    ///
+    /// [`with_hardening`]: RtmGovernor::with_hardening
+    #[must_use]
+    pub fn hardening(&self) -> Option<&HardeningConfig> {
+        self.hardening.as_ref()
+    }
+
+    /// Epochs that ran on substituted or safe-state data (0 for a
+    /// naive governor).
+    #[must_use]
+    pub fn degraded_epochs(&self) -> u64 {
+        self.filter
+            .as_ref()
+            .map_or(0, PlausibilityFilter::degraded_epochs)
+    }
+
+    /// Epochs spent parked at the safe OPP while quarantined.
+    #[must_use]
+    pub fn safe_state_epochs(&self) -> u64 {
+        self.safe_state_epochs
+    }
+
+    /// `true` while the sensors are quarantined and the governor holds
+    /// the safe OPP.
+    #[must_use]
+    pub fn in_safe_state(&self) -> bool {
+        self.filter
+            .as_ref()
+            .is_some_and(PlausibilityFilter::quarantined)
+    }
+
+    /// How many times the governor escalated to the safe state.
+    #[must_use]
+    pub fn quarantine_entries(&self) -> u64 {
+        self.filter
+            .as_ref()
+            .map_or(0, PlausibilityFilter::quarantine_entries)
     }
 
     /// Attaches a streaming [`PropertySet`] to the epoch stream: every
@@ -620,6 +694,13 @@ impl Governor for RtmGovernor {
             self.config.seed,
         ));
 
+        // A hardened governor gets a fresh filter per run (the gates
+        // persist; last-good history and counters do not).
+        self.filter = self.hardening.as_ref().map(|h| PlausibilityFilter::new(*h));
+        self.sensed_scratch = FrameResult::empty();
+        self.top_opp = ctx.opp_table().len() - 1;
+        self.safe_state_epochs = 0;
+
         // Conservative start: the highest point, as a fresh governor
         // knows nothing about the workload yet.
         let first = lane.first_decision();
@@ -628,6 +709,30 @@ impl Governor for RtmGovernor {
     }
 
     fn decide(&mut self, obs: &EpochObservation<'_>) -> VfDecision {
+        if let Some(filter) = self.filter.as_mut() {
+            self.sensed_scratch.copy_from(obs.frame);
+            filter.admit(&mut self.sensed_scratch);
+            if filter.quarantined() {
+                // Sensors untrustworthy: park at the safe OPP and do
+                // not let the agent learn from garbage (ε stays
+                // frozen, which keeps its decay monotone).
+                self.safe_state_epochs += 1;
+                let safe = self
+                    .hardening
+                    .as_ref()
+                    .expect("filter implies hardening")
+                    .safe_opp
+                    .min(self.top_opp);
+                return VfDecision::Cluster(safe);
+            }
+            let lane = self.lane.as_mut().expect("init() builds the lane");
+            let agent = self.agent.as_mut().expect("init() builds the agent");
+            let patched = EpochObservation {
+                frame: &self.sensed_scratch,
+                epoch: obs.epoch,
+            };
+            return lane.decide(agent, &patched);
+        }
         let lane = self.lane.as_mut().expect("init() builds the lane");
         let agent = self.agent.as_mut().expect("init() builds the agent");
         lane.decide(agent, obs)

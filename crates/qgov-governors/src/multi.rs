@@ -85,6 +85,16 @@ pub trait ManyCoreGovernor {
     fn has_converged(&self) -> Option<bool> {
         None
     }
+
+    /// Informs the coordinator that every core of `cluster` has failed
+    /// permanently (fault injection or a real platform event). A
+    /// hardened coordinator reacts — freezing the dead cluster's agent
+    /// and redistributing its work share — while the default (a naive
+    /// coordinator) ignores the notification and keeps learning from
+    /// whatever the dead cluster appears to report.
+    fn notify_cluster_dead(&mut self, cluster: usize) {
+        let _ = cluster;
+    }
 }
 
 /// Independent per-cluster governors with a static placement: cluster

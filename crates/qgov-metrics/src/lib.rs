@@ -25,13 +25,19 @@
 //! * [`Property`] / [`PropertySet`] — streaming LTL-style temporal
 //!   monitors (`always` / `eventually` / `until` / `after`) evaluated
 //!   online over epoch streams in O(1) state per property, with the
-//!   [`standard_pack`] encoding the paper's temporal claims.
+//!   [`standard_pack`] encoding the paper's temporal claims;
+//! * [`RecoveryTracker`] / [`recovery_pack`] — recovery accounting for
+//!   fault-injected runs: time-to-recover, worst miss-rate excursion,
+//!   and the "miss rate returns under the bound within the grace
+//!   period" / "thermal cap holds even under sensor faults" temporal
+//!   obligations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod misprediction;
 pub mod monitor;
+mod recovery;
 mod report;
 mod series;
 mod stats;
@@ -41,10 +47,11 @@ mod window;
 
 pub use misprediction::MispredictionStats;
 pub use monitor::{
-    converged_miss_rate, epsilon_monotone, epsilon_reaches_floor, opp_step_bound, standard_pack,
-    thermal_cap, MonitorReport, MonitorSample, PackConfig, Property, PropertySet, PropertyVerdict,
-    Verdict,
+    converged_miss_rate, epsilon_monotone, epsilon_reaches_floor, opp_step_bound, recovers_within,
+    recovery_pack, standard_pack, thermal_cap, MonitorReport, MonitorSample, PackConfig, Property,
+    PropertySet, PropertyVerdict, Verdict,
 };
+pub use recovery::{RecoveryConfig, RecoveryStats, RecoveryTracker};
 pub use report::{FrameStat, FrameWindows, RunReport};
 pub use series::Series;
 pub use stats::{t_critical_975, OnlineStats};

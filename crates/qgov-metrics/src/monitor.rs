@@ -629,6 +629,62 @@ pub fn epsilon_reaches_floor(floor: f64) -> Property<MonitorSample> {
     )
 }
 
+/// `after(epoch ≥ fault + grace, always (window miss rate ≤ bound))` —
+/// after a fault lands at `fault_epoch` and a `grace` period passes for
+/// the governor to adapt, every completed tumbling window of `window`
+/// epochs keeps its miss rate at or under `bound`. This is the
+/// self-healing claim for a faulted run: whatever the fault did to the
+/// deadline stream, the governor pulled it back inside the bound within
+/// the grace period and kept it there. Vacuous if the stream ends
+/// before the grace period does.
+#[must_use]
+pub fn recovers_within(
+    fault_epoch: u64,
+    grace: u64,
+    window: u64,
+    bound: f64,
+) -> Property<MonitorSample> {
+    let window = window.max(1);
+    let threshold = fault_epoch.saturating_add(grace);
+    let mut seen = 0u64;
+    let mut misses = 0u64;
+    Property::after(
+        move |s: &MonitorSample| s.epoch >= threshold,
+        Property::always(move |s: &MonitorSample| {
+            if !s.met_deadline {
+                misses += 1;
+            }
+            seen += 1;
+            if seen == window {
+                let ok = misses as f64 <= bound * window as f64;
+                seen = 0;
+                misses = 0;
+                ok
+            } else {
+                true
+            }
+        }),
+    )
+}
+
+/// The recovery property pack for a faulted run: the thermal cap must
+/// hold on the *truth-side* temperature stream throughout (sensor
+/// faults are no excuse for cooking the die), the windowed miss rate
+/// must return under the configured bound within `grace` epochs of the
+/// fault at `fault_epoch` ([`recovers_within`]), and ε decay must stay
+/// monotone (a hardened governor freezing ε during quarantine
+/// satisfies this; a governor whose ε jumps around does not).
+#[must_use]
+pub fn recovery_pack(fault_epoch: u64, grace: u64, cfg: &PackConfig) -> PropertySet<MonitorSample> {
+    PropertySet::new()
+        .with("thermal-cap-under-faults", thermal_cap(cfg.thermal_cap_c))
+        .with(
+            "post-drop-miss-recovery",
+            recovers_within(fault_epoch, grace, cfg.miss_window, cfg.miss_bound),
+        )
+        .with("epsilon-monotone", epsilon_monotone(cfg.epsilon_floor))
+}
+
 /// The standard property pack for one experiment cell, keyed by the
 /// governor label. ε/convergence properties self-gate (vacuous for
 /// governors that expose neither), so the pack is safe to attach to
@@ -955,5 +1011,43 @@ mod tests {
         };
         assert_eq!(feed(&[1.0, 0.5, 0.01]), Verdict::Holds);
         assert_eq!(feed(&[1.0, 0.5]), Verdict::Violated { epoch: 1 });
+    }
+
+    #[test]
+    fn recovers_within_gates_on_fault_plus_grace() {
+        // Fault at 10, grace 10, window 5, bound 0.2 (≤ 1 miss per 5).
+        let feed = |miss_epochs: &[u64], total: u64| {
+            let mut p = recovers_within(10, 10, 5, 0.2);
+            for epoch in 0..total {
+                let mut s = sample(epoch);
+                s.met_deadline = !miss_epochs.contains(&epoch);
+                p.observe(epoch, &s);
+            }
+            p.verdict()
+        };
+        // Misses entirely inside the grace period are forgiven.
+        assert_eq!(feed(&[10, 11, 12, 13, 14], 40), Verdict::Holds);
+        // Misses persisting past the grace period violate in the first
+        // completed window after it (epochs 20..=24 here).
+        assert_eq!(feed(&[20, 21, 22], 40), Verdict::Violated { epoch: 24 });
+        // Stream too short to outlive the grace period: vacuous.
+        assert_eq!(feed(&[], 15), Verdict::Vacuous);
+    }
+
+    #[test]
+    fn recovery_pack_composes_the_faulted_run_obligations() {
+        let cfg = PackConfig::paper();
+        let set = recovery_pack(100, 50, &cfg);
+        assert_eq!(set.len(), 3);
+        let report = set.report();
+        let names: Vec<&str> = report.verdicts().iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "thermal-cap-under-faults",
+                "post-drop-miss-recovery",
+                "epsilon-monotone"
+            ]
+        );
     }
 }

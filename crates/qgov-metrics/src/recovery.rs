@@ -1,0 +1,194 @@
+//! Recovery metrics for faulted runs: how hard a fault hit the
+//! deadline stream and how fast the governor pulled it back.
+//!
+//! [`RecoveryTracker`] watches the per-epoch deadline outcomes of a run
+//! that suffers a fault at a known epoch and folds them into a
+//! [`RecoveryStats`]:
+//!
+//! * **time to recover** — epochs from the fault until the trailing
+//!   windowed miss rate *finally* settles back at or under the bound
+//!   (re-excursions reset the clock);
+//! * **worst excursion** — the highest trailing windowed miss rate seen
+//!   at or after the fault;
+//! * **degraded epochs** — supplied by the governor (epochs it ran on
+//!   substituted or safe-state data; zero for a naive governor).
+//!
+//! The tracker is streaming and allocation-free after construction —
+//! the same contract as the temporal monitors in [`crate::monitor`].
+
+/// Shape of the recovery measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Epoch the fault lands (e.g. the core-drop epoch of the plan).
+    pub fault_epoch: u64,
+    /// Trailing window length (epochs) for the miss-rate signal.
+    pub window: u64,
+    /// A windowed miss rate at or under this counts as recovered.
+    pub bound: f64,
+}
+
+/// What the fault did and how the run recovered; see the module
+/// docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryStats {
+    /// Epochs from the fault until the windowed miss rate settled back
+    /// at or under the bound (0 if it never exceeded the bound);
+    /// `None` if the run ended still in excursion.
+    pub time_to_recover: Option<u64>,
+    /// Highest trailing windowed miss rate at or after the fault.
+    pub worst_excursion: f64,
+    /// Epochs the governor ran degraded (substituted sensor data or
+    /// safe-state fallback). Reported by the governor, not derived from
+    /// the deadline stream.
+    pub degraded_epochs: u64,
+}
+
+/// Streaming tracker folding per-epoch deadline outcomes into
+/// [`RecoveryStats`].
+#[derive(Debug, Clone)]
+pub struct RecoveryTracker {
+    config: RecoveryConfig,
+    /// Ring buffer of the last `window` deadline outcomes.
+    ring: Vec<bool>,
+    head: usize,
+    filled: usize,
+    misses: u64,
+    worst_excursion: f64,
+    recovered_at: Option<u64>,
+    excursion_seen: bool,
+}
+
+impl RecoveryTracker {
+    /// Creates a tracker (the only allocation it ever makes).
+    #[must_use]
+    pub fn new(config: RecoveryConfig) -> Self {
+        let window = config.window.max(1) as usize;
+        RecoveryTracker {
+            config,
+            ring: vec![true; window],
+            head: 0,
+            filled: 0,
+            misses: 0,
+            worst_excursion: 0.0,
+            recovered_at: None,
+            excursion_seen: false,
+        }
+    }
+
+    /// The configured measurement shape.
+    #[must_use]
+    pub fn config(&self) -> &RecoveryConfig {
+        &self.config
+    }
+
+    /// Feeds one epoch's deadline outcome. Epochs must arrive in
+    /// order; the fault epoch itself counts as post-fault.
+    pub fn observe(&mut self, epoch: u64, met_deadline: bool) {
+        if self.filled == self.ring.len() {
+            if !self.ring[self.head] {
+                self.misses -= 1;
+            }
+        } else {
+            self.filled += 1;
+        }
+        self.ring[self.head] = met_deadline;
+        if !met_deadline {
+            self.misses += 1;
+        }
+        self.head = (self.head + 1) % self.ring.len();
+
+        if epoch < self.config.fault_epoch {
+            return;
+        }
+        let rate = self.misses as f64 / self.filled as f64;
+        if rate > self.worst_excursion {
+            self.worst_excursion = rate;
+        }
+        if rate > self.config.bound {
+            self.excursion_seen = true;
+            self.recovered_at = None;
+        } else if self.recovered_at.is_none() {
+            self.recovered_at = Some(epoch);
+        }
+    }
+
+    /// Folds the stream observed so far into stats; `degraded_epochs`
+    /// comes from the governor (use 0 for governors without a degraded
+    /// mode).
+    #[must_use]
+    pub fn stats(&self, degraded_epochs: u64) -> RecoveryStats {
+        let time_to_recover = if self.excursion_seen {
+            self.recovered_at
+                .map(|at| at.saturating_sub(self.config.fault_epoch))
+        } else {
+            // The miss rate never left the bound: instant recovery.
+            Some(0)
+        };
+        RecoveryStats {
+            time_to_recover,
+            worst_excursion: self.worst_excursion,
+            degraded_epochs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn track(miss_epochs: &[u64], total: u64) -> RecoveryTracker {
+        let mut t = RecoveryTracker::new(RecoveryConfig {
+            fault_epoch: 10,
+            window: 5,
+            bound: 0.2,
+        });
+        for epoch in 0..total {
+            t.observe(epoch, !miss_epochs.contains(&epoch));
+        }
+        t
+    }
+
+    #[test]
+    fn clean_run_recovers_instantly_with_zero_excursion() {
+        let stats = track(&[], 50).stats(0);
+        assert_eq!(stats.time_to_recover, Some(0));
+        assert_eq!(stats.worst_excursion, 0.0);
+        assert_eq!(stats.degraded_epochs, 0);
+    }
+
+    #[test]
+    fn excursion_is_measured_and_recovery_timed() {
+        // Misses at 10..15: the 5-wide window saturates at 100 % miss
+        // rate, then drains as hits return.
+        let stats = track(&[10, 11, 12, 13, 14], 50).stats(3);
+        assert_eq!(stats.worst_excursion, 1.0);
+        // Window drains to ≤ 0.2 (1 miss in 5) at epoch 18.
+        assert_eq!(stats.time_to_recover, Some(8));
+        assert_eq!(stats.degraded_epochs, 3);
+    }
+
+    #[test]
+    fn re_excursion_resets_the_recovery_clock() {
+        let once = track(&[10, 11], 50).stats(0);
+        let twice = track(&[10, 11, 30, 31], 50).stats(0);
+        assert!(twice.time_to_recover.unwrap() > once.time_to_recover.unwrap());
+    }
+
+    #[test]
+    fn unrecovered_run_reports_none() {
+        // Misses continue to the end of the stream.
+        let miss: Vec<u64> = (10..30).collect();
+        let stats = track(&miss, 30).stats(0);
+        assert_eq!(stats.time_to_recover, None);
+        assert_eq!(stats.worst_excursion, 1.0);
+    }
+
+    #[test]
+    fn pre_fault_misses_do_not_count_as_excursion() {
+        // A rough warm-up before the fault epoch is ignored; the
+        // post-fault stream is clean once the window drains.
+        let stats = track(&[0, 1, 2, 3, 4], 50).stats(0);
+        assert_eq!(stats.worst_excursion, 0.0);
+        assert_eq!(stats.time_to_recover, Some(0));
+    }
+}

@@ -23,7 +23,10 @@
 //!   latency (voltage-regulator slew + PLL relock);
 //! * [`Platform`] — ties everything together with frame-synchronous
 //!   execution: the governor assigns per-core [`WorkSlice`]s, the
-//!   platform runs them to the barrier and returns a [`FrameResult`].
+//!   platform runs them to the barrier and returns a [`FrameResult`];
+//! * [`FaultPlan`] / [`FaultInjector`] — deterministic, seeded fault
+//!   injection between the platform and the governor: sensor
+//!   corruption, actuation faults, and permanent core drop-outs.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@
 mod cluster;
 mod dvfs;
 mod error;
+mod fault;
 mod opp;
 mod platform;
 mod pmu;
@@ -59,6 +63,7 @@ mod thermal;
 pub use cluster::{ClusterConfig, ManyCoreFrameResult, ManyCorePlatform, Topology};
 pub use dvfs::{DvfsConfig, VfController, VfDomain};
 pub use error::SimError;
+pub use fault::{Actuation, Fault, FaultInjector, FaultKind, FaultPlan};
 pub use opp::{Opp, OppTable};
 pub use platform::{FrameResult, Platform, PlatformConfig, WorkSlice};
 pub use pmu::Pmu;

@@ -214,6 +214,29 @@ impl FrameResult {
         }
     }
 
+    /// Copies `other` into `self`, reusing the per-core vector
+    /// capacity (unlike the derived `clone_from`, this never allocates
+    /// once the vectors have reached the core count — which keeps the
+    /// sensed-copy step of a faulted run inside the zero-allocation
+    /// steady-state envelope).
+    pub fn copy_from(&mut self, other: &FrameResult) {
+        self.frame_time = other.frame_time;
+        self.wall_time = other.wall_time;
+        self.period = other.period;
+        self.overhead = other.overhead;
+        self.per_core_busy.clear();
+        self.per_core_busy.extend_from_slice(&other.per_core_busy);
+        self.per_core_cycles.clear();
+        self.per_core_cycles
+            .extend_from_slice(&other.per_core_cycles);
+        self.energy = other.energy;
+        self.avg_power = other.avg_power;
+        self.measured_power = other.measured_power;
+        self.measured_energy = other.measured_energy;
+        self.temperature = other.temperature;
+        self.cluster_opp = other.cluster_opp;
+    }
+
     /// `true` if the frame met its deadline.
     #[must_use]
     pub fn met_deadline(&self) -> bool {

@@ -69,11 +69,17 @@ pub mod prelude {
         run_state_levels_ablation, run_state_levels_ablation_with, run_table1, run_table1_with,
         run_table2, run_table2_with, run_table3, run_table3_with,
     };
+    pub use qgov_bench::faultstorm::{
+        fault_plan_from_env, fault_storm_app, fault_storm_drop_epoch, run_fault_storm,
+        run_fault_storm_with, standard_fault_schedule, FaultStormResult, FaultStormRow,
+        FAULTSTORM_GRACE,
+    };
     pub use qgov_bench::fleet::{
         fleet_size_from_env, run_fleet, FleetEngine, FleetInstance, FleetOutcome, FleetSpec,
     };
     pub use qgov_bench::harness::{
-        precharacterize, run_experiment, run_experiment_monitored, ExperimentOutcome,
+        precharacterize, run_experiment, run_experiment_faulted, run_experiment_faulted_monitored,
+        run_experiment_monitored, ExperimentOutcome,
     };
     pub use qgov_bench::hetero::{
         run_biglittle, run_biglittle_monitored, run_biglittle_monitored_with, run_biglittle_sweep,
@@ -83,7 +89,9 @@ pub mod prelude {
         MeshRow, MeshScalingResult, MeshSweep, MeshSweepRow,
     };
     pub use qgov_bench::manycore::{
-        run_manycore_experiment, run_manycore_experiment_monitored, ManyCoreOutcome,
+        run_manycore_experiment, run_manycore_experiment_faulted,
+        run_manycore_experiment_faulted_monitored, run_manycore_experiment_monitored,
+        ManyCoreOutcome,
     };
     pub use qgov_bench::runner::{frames_from_env, ExperimentBatch, RunnerConfig, RunnerMode};
     pub use qgov_bench::sweep::{
@@ -100,8 +108,8 @@ pub mod prelude {
         WorkCell, WorkList,
     };
     pub use qgov_core::{
-        EpochRecord, ExplorationKind, GreedyMigration, HistoryMode, ManyCoreRtm, MigrationConfig,
-        RtmConfig, RtmGovernor, StateKind,
+        EpochRecord, ExplorationKind, GreedyMigration, HardeningConfig, HistoryMode, ManyCoreRtm,
+        MigrationConfig, PlausibilityFilter, RtmConfig, RtmGovernor, StateKind,
     };
     pub use qgov_governors::{
         ConservativeGovernor, EpochObservation, GeQiuConfig, GeQiuGovernor, Governor,
@@ -111,16 +119,16 @@ pub mod prelude {
     };
     pub use qgov_metrics::{
         converged_miss_rate, epsilon_monotone, epsilon_reaches_floor, opp_step_bound,
-        standard_pack, thermal_cap, ComparisonTable, MetricSummary, MispredictionStats,
-        MonitorReport, MonitorSample, OnlineStats, PackConfig, Property, PropertySet,
-        PropertyVerdict, RunReport, SampleStats, Series, SweepFormat, SweepTable, Verdict,
-        WindowSummary, WindowedStats,
+        recovery_pack, standard_pack, thermal_cap, ComparisonTable, MetricSummary,
+        MispredictionStats, MonitorReport, MonitorSample, OnlineStats, PackConfig, Property,
+        PropertySet, PropertyVerdict, RecoveryConfig, RecoveryStats, RecoveryTracker, RunReport,
+        SampleStats, Series, SweepFormat, SweepTable, Verdict, WindowSummary, WindowedStats,
     };
     pub use qgov_rl::{DecayingEpsilon, EpdPolicy, EwmaPredictor, Predictor, QTable, SlackReward};
     pub use qgov_sim::{
-        ClusterConfig, DvfsConfig, FrameResult, ManyCoreFrameResult, ManyCorePlatform, Opp,
-        OppTable, Platform, PlatformConfig, SensorConfig, ThermalConfig, Topology, VfDomain,
-        WorkSlice,
+        Actuation, ClusterConfig, DvfsConfig, Fault, FaultInjector, FaultKind, FaultPlan,
+        FrameResult, ManyCoreFrameResult, ManyCorePlatform, Opp, OppTable, Platform,
+        PlatformConfig, SensorConfig, ThermalConfig, Topology, VfDomain, WorkSlice,
     };
     pub use qgov_units::{Cycles, Energy, Freq, Power, SimTime, Temp, Volt};
     pub use qgov_workloads::{

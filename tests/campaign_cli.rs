@@ -391,6 +391,112 @@ fn journal_foreign_cell_id_is_fatal() {
 }
 
 #[test]
+fn report_against_identical_campaign_is_clean() {
+    let scratch = ScratchDir::unique("qgov-cli-against");
+    let state_a = scratch.path().join("state-a");
+    let state_b = scratch.path().join("state-b");
+    let baseline = sweep_and_report(scratch.path(), &state_a);
+    sweep_and_report(scratch.path(), &state_b);
+    let output = qgov()
+        .arg("report")
+        .arg("--against")
+        .arg(&state_b)
+        .arg(&state_a)
+        .output()
+        .unwrap();
+    assert_exit(&output, 0, "report --against identical campaign");
+    let text = String::from_utf8(output.stdout).unwrap();
+    // The normal report still leads the output; the diff follows.
+    assert!(
+        text.starts_with(std::str::from_utf8(&baseline).unwrap()),
+        "{text}"
+    );
+    assert!(
+        text.contains("2 shared cell(s)") && text.contains("0 beyond tolerance"),
+        "{text}"
+    );
+}
+
+/// Rewrites the first journaled metric of the first cell in `state` to
+/// a different bit pattern (snapshot removed so the journal is the
+/// only source), returning the doctored value's name.
+fn doctor_first_metric(state: &Path) -> String {
+    std::fs::remove_file(state.join("snapshot.log")).unwrap();
+    let journal = state.join("journal.log");
+    let body = std::fs::read_to_string(&journal).unwrap();
+    let mut doctored_name = String::new();
+    let lines: Vec<String> = body
+        .lines()
+        .map(|line| {
+            if !line.starts_with("cell ") || !doctored_name.is_empty() {
+                return line.to_owned();
+            }
+            // Token 0 is "cell", token 1 the id (which itself contains
+            // '='); metric tokens start at index 2.
+            let mut tokens: Vec<String> = line.split(' ').map(str::to_owned).collect();
+            let slot = 2 + tokens[2..].iter().position(|t| t.contains('=')).unwrap();
+            let (name, hex) = tokens[slot].split_once('=').unwrap();
+            let value = f64::from_bits(u64::from_str_radix(hex, 16).unwrap());
+            doctored_name = name.to_owned();
+            tokens[slot] = format!("{name}={:016x}", (value * 2.0 + 1.0).to_bits());
+            tokens.join(" ")
+        })
+        .collect();
+    std::fs::write(&journal, lines.join("\n") + "\n").unwrap();
+    doctored_name
+}
+
+#[test]
+fn report_against_doctored_baseline_exits_regression() {
+    let scratch = ScratchDir::unique("qgov-cli-regress");
+    let state_a = scratch.path().join("state-a");
+    let state_b = scratch.path().join("state-b");
+    sweep_and_report(scratch.path(), &state_a);
+    sweep_and_report(scratch.path(), &state_b);
+    let doctored = doctor_first_metric(&state_b);
+
+    // Default tolerance 0 is a bit-drift detector: exit 5, and the
+    // offending metric is named with both values.
+    let output = qgov()
+        .arg("report")
+        .arg("--against")
+        .arg(&state_b)
+        .arg(&state_a)
+        .output()
+        .unwrap();
+    assert_exit(&output, 5, "report --against doctored baseline");
+    let text = String::from_utf8(output.stdout.clone()).unwrap();
+    assert!(
+        text.contains(&format!("  {doctored}: ")) && text.contains("1 beyond tolerance"),
+        "{text}"
+    );
+    assert!(stderr_of(&output).contains("beyond tolerance"), "{text}");
+
+    // A tolerance above the symmetric-relative-delta ceiling (2)
+    // accepts any finite drift.
+    let output = qgov()
+        .arg("report")
+        .arg("--against")
+        .arg(&state_b)
+        .arg("--tolerance")
+        .arg("5")
+        .arg(&state_a)
+        .output()
+        .unwrap();
+    assert_exit(&output, 0, "report --against with loose tolerance");
+
+    // --tolerance without --against is a usage error.
+    let output = qgov()
+        .arg("report")
+        .arg("--tolerance")
+        .arg("0.1")
+        .arg(&state_a)
+        .output()
+        .unwrap();
+    assert_exit(&output, 2, "--tolerance without --against");
+}
+
+#[test]
 fn run_single_cell_prints_metrics() {
     let output = qgov()
         .args(["run", "--family", "fig3", "--seed", "1", "--frames", "60"])
